@@ -1,0 +1,48 @@
+"""Figs. 9a/9b: micro-benchmark energy savings and QoS violations.
+
+Paper reference points: GreenWeb saves 31.9% (imperceptible) and 78.0%
+(usable) on average vs. Perf, with ~1.3% / ~1.2% added violations; the
+single-type events with the largest violations are MSN, LZMA-JS, and
+BBC (profiling runs), and continuous events amortize profiling.
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.core.qos import QoSType
+from repro.evaluation.experiments import run_fig9_microbenchmarks
+from repro.evaluation.report import render_fig9
+
+
+def test_fig9_microbenchmarks(benchmark, record_figure):
+    rows = run_once(benchmark, run_fig9_microbenchmarks)
+    record_figure("fig9_micro", render_fig9(rows))
+
+    assert len(rows) == 12
+    mean_i = statistics.mean(r.greenweb_i_energy_norm_pct for r in rows)
+    mean_u = statistics.mean(r.greenweb_u_energy_norm_pct for r in rows)
+
+    # Shape: GreenWeb saves substantial energy in both scenarios, and
+    # usable saves more than imperceptible (paper: 31.9% vs 78.0%).
+    assert mean_i < 85.0
+    assert mean_u < mean_i
+
+    # Shape: continuous events show a large I-vs-U gap (they must run
+    # big for 16.6 ms but fit little at 33.3 ms), Sec. 7.2.
+    continuous = [r for r in rows if r.qos_type is QoSType.CONTINUOUS]
+    gap = statistics.mean(
+        r.greenweb_i_energy_norm_pct - r.greenweb_u_energy_norm_pct for r in continuous
+    )
+    assert gap > 10.0
+
+    # Shape: the single-type violation outliers are the paper's trio.
+    singles = {r.app: r.greenweb_i_added_violation_pct for r in rows
+               if r.qos_type is QoSType.SINGLE}
+    trio = {"msn", "lzma_js", "bbc"}
+    others = {app: v for app, v in singles.items() if app not in trio}
+    assert max(singles[a] for a in trio) > max(others.values())
+
+    # Shape: violations stay small for continuous events (amortized).
+    for row in continuous:
+        assert row.greenweb_i_added_violation_pct < 8.0

@@ -1,0 +1,27 @@
+"""Table 1: the QoS type x QoS target interaction categories."""
+
+from conftest import run_once
+
+from repro.core.qos import (
+    CONTINUOUS_DEFAULT,
+    SINGLE_LONG_DEFAULT,
+    SINGLE_SHORT_DEFAULT,
+    TABLE1_CATEGORIES,
+    QoSType,
+)
+from repro.evaluation.report import render_table1
+
+
+def test_table1_categories(benchmark, record_figure):
+    text = run_once(benchmark, render_table1)
+    record_figure("table1", text)
+
+    # The three categories with the paper's exact default targets.
+    assert len(TABLE1_CATEGORIES) == 3
+    assert TABLE1_CATEGORIES[0].qos_type is QoSType.CONTINUOUS
+    assert TABLE1_CATEGORIES[0].target == CONTINUOUS_DEFAULT
+    assert TABLE1_CATEGORIES[1].target == SINGLE_SHORT_DEFAULT
+    assert TABLE1_CATEGORIES[2].target == SINGLE_LONG_DEFAULT
+    assert "16.6" in text and "33.3" in text
+    assert "(100, 300) ms" in text
+    assert "(1, 10) s" in text

@@ -1,0 +1,32 @@
+"""Table 3: application characteristics (events, durations, annotation
+coverage) — paper values vs. what the synthetic workloads measure."""
+
+from conftest import run_once
+
+from repro.evaluation.experiments import run_table3_characteristics
+from repro.evaluation.report import render_table3
+
+
+def test_table3_application_characteristics(benchmark, record_figure):
+    rows = run_once(benchmark, run_table3_characteristics)
+    record_figure("table3", render_table3(rows))
+
+    assert len(rows) == 12
+
+    # Event counts match Table 3 exactly.
+    for row in rows:
+        assert row.measured_events == row.paper_events
+
+    # Durations within a second of the paper's column.
+    for row in rows:
+        assert abs(row.measured_duration_s - row.paper_duration_s) <= 1.0
+
+    # Paper Sec. 7.3 averages: ~94 events, ~43 s per interaction.
+    mean_events = sum(r.measured_events for r in rows) / len(rows)
+    mean_duration = sum(r.measured_duration_s for r in rows) / len(rows)
+    assert 90 <= mean_events <= 98
+    assert 38 <= mean_duration <= 46
+
+    # Annotation coverage tracks the paper's column.
+    for row in rows:
+        assert abs(row.measured_annotation_pct - row.paper_annotation_pct) <= 15.0

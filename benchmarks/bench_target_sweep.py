@@ -1,0 +1,51 @@
+"""The QoS-target energy dial — the language's central premise.
+
+Sweeps explicit per-frame targets (Table 2's ``continuous, ti, tu``
+form) over Cnet's menu animation and plots energy, violations, and
+big-cluster share per target.  The curve is the paper's thesis in one
+table: expressing the latency a user actually needs converts directly
+into energy, with a knee where the little cluster becomes feasible and
+diminishing returns past the refresh interval.
+"""
+
+from conftest import run_once
+
+from repro.evaluation.report import ascii_bars
+from repro.evaluation.target_sweep import run_target_sweep
+
+TARGETS_MS = (8.0, 12.0, 16.6, 25.0, 33.3, 50.0, 80.0)
+
+
+def test_target_sweep_energy_dial(benchmark, record_figure):
+    points = run_once(benchmark, lambda: run_target_sweep("cnet", TARGETS_MS))
+
+    lines = ["QoS-target sweep (Cnet menu animation, GreenWeb runtime)",
+             f"{'target':>8s} {'energy (mJ)':>12s} {'viol %':>7s} {'big %':>6s} {'frames':>7s}"]
+    for p in points:
+        lines.append(
+            f"{p.target_ms:7.1f}m {p.active_energy_j*1000:12.1f} "
+            f"{p.mean_violation_pct:7.2f} {p.big_share*100:6.1f} {p.frames:7d}"
+        )
+    lines.append("")
+    lines.append("energy vs annotated target:")
+    lines.append(ascii_bars(
+        [f"{p.target_ms:5.1f} ms" for p in points],
+        [p.active_energy_j * 1000 for p in points],
+        unit=" mJ",
+    ))
+    record_figure("target_sweep", "\n".join(lines))
+
+    by_target = {p.target_ms: p for p in points}
+    # The dial works: relaxing 8 ms -> 80 ms saves a large factor.
+    assert by_target[80.0].active_energy_j < 0.4 * by_target[8.0].active_energy_j
+    # Energy is non-increasing to first order (allow small local noise).
+    energies = [p.active_energy_j for p in points]
+    for earlier, later in zip(energies, energies[2:]):
+        assert later < earlier * 1.1
+    # The little-cluster knee: big share collapses once the target
+    # crosses the little cluster's per-frame capability.
+    assert by_target[16.6].big_share > 0.8
+    assert by_target[33.3].big_share < 0.5
+    # Unattainably tight targets violate (frames cannot beat the
+    # pipeline), looser ones do not.
+    assert by_target[8.0].mean_violation_pct > by_target[80.0].mean_violation_pct

@@ -1,0 +1,34 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Each benchmark regenerates one of the paper's tables/figures, prints
+the rows, and writes them to ``benchmarks/results/<name>.txt`` so the
+series survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_figure():
+    """Persist + echo a rendered figure. Usage:
+    ``record_figure("fig9", text)``."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing
+    (full figure matrices are seconds-long; statistical repetition
+    belongs to the simulator's own determinism, not wall time)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,50 @@
+"""A miniature of the paper's Sec. 7.3 full-interaction study.
+
+Runs the full (~43 s, ~94 event) interaction traces for a subset of
+applications under all four policies and renders the Fig. 10-style
+table plus the Fig. 11 configuration distribution.
+
+Usage::
+
+    python examples/full_interaction_study.py [app ...]
+
+Default subset: todo (light taps), msn (heavy taps), w3schools
+(animation with surges) — one representative per interaction regime.
+Pass application names to study others, or ``all`` for every app
+(takes a few seconds).
+"""
+
+import sys
+
+from repro.evaluation.experiments import (
+    run_fig10_full_interactions,
+    run_fig11_distribution,
+    run_fig12_switching,
+)
+from repro.evaluation.report import render_fig10, render_fig11, render_fig12
+from repro.workloads import APP_NAMES
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if args == ["all"]:
+        apps = list(APP_NAMES)
+    elif args:
+        unknown = [a for a in args if a not in APP_NAMES]
+        if unknown:
+            raise SystemExit(f"unknown apps: {unknown}; choose from {', '.join(APP_NAMES)}")
+        apps = args
+    else:
+        apps = ["todo", "msn", "w3schools"]
+
+    print(f"running full interactions for: {', '.join(apps)}\n")
+    rows = run_fig10_full_interactions(apps=apps)
+    print(render_fig10(rows))
+    print()
+    print(render_fig11(run_fig11_distribution(fig10_rows=rows)))
+    print()
+    print(render_fig12(run_fig12_switching(fig10_rows=rows)))
+
+
+if __name__ == "__main__":
+    main()

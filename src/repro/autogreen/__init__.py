@@ -1,0 +1,35 @@
+"""AutoGreen: automatic GreenWeb annotation (paper Sec. 5, Fig. 6).
+
+Three phases:
+
+1. **Instrumentation** (:mod:`repro.autogreen.instrument`): discover
+   every DOM node and its registered mobile-event callbacks, and wrap
+   callback invocation so QoS-relevant actions are observable.
+2. **Profiling** (:mod:`repro.autogreen.profiler`): trigger each event
+   in a sandbox (application state snapshotted and restored) and follow
+   its continuations; the detection rules (:mod:`repro.autogreen.detector`)
+   classify the event's QoS type: *continuous* if the callback closure
+   reaches a ``requestAnimationFrame``, a jQuery-style ``animate()``,
+   or a CSS transition/animation — otherwise *single*.
+3. **Generation** (:mod:`repro.autogreen.generate`): emit GreenWeb CSS
+   annotations.  Single events conservatively get ``short`` targets —
+   AutoGreen cannot know an event's semantics, so it favours QoS over
+   energy (the paper's Sec. 5 design decision; the evaluation then
+   manually corrects long-latency events, Sec. 7.3).
+"""
+
+from repro.autogreen.detector import DetectionSignal, detect_signals
+from repro.autogreen.generate import AutoGreenReport, generate_annotations, selector_for
+from repro.autogreen.instrument import discover_annotation_targets
+from repro.autogreen.profiler import AutoGreen, ProfileResult
+
+__all__ = [
+    "AutoGreen",
+    "ProfileResult",
+    "AutoGreenReport",
+    "DetectionSignal",
+    "detect_signals",
+    "discover_annotation_targets",
+    "generate_annotations",
+    "selector_for",
+]

@@ -1,0 +1,54 @@
+"""AutoGreen's QoS-type detection rules (paper Sec. 5).
+
+"An event's QoS type is set to 'continuous' if its callback function
+triggers a jQuery ``animate()`` function, a rAF, or a CSS
+transition/animation.  Otherwise the QoS type is set to 'single'."
+
+Detection is over recorded :class:`~repro.web.script.ScriptEffects`:
+
+* ``animate()`` calls and rAF registrations are directly visible
+  (the paper overloads the original functions; we record the calls);
+* a CSS transition is detected when a style write hits a property the
+  cascade declares a transition for (the paper registers a
+  ``transitionend`` listener — same observable, earlier);
+* a CSS animation is detected when the ``animation`` property is
+  written (the paper's ``animationend`` listener equivalent).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.web.css.stylesheet import Stylesheet
+from repro.web.css.transitions import transition_for
+from repro.web.script import ScriptEffects
+
+
+class DetectionSignal(enum.Enum):
+    """Why an event was classified as continuous."""
+
+    RAF = "raf"
+    ANIMATE = "animate"
+    CSS_TRANSITION = "css-transition"
+    CSS_ANIMATION = "css-animation"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def detect_signals(effects: ScriptEffects, stylesheet: Stylesheet) -> list[DetectionSignal]:
+    """The continuous-QoS signals present in one callback's effects."""
+    signals: list[DetectionSignal] = []
+    if effects.uses_raf:
+        signals.append(DetectionSignal.RAF)
+    if effects.uses_animate:
+        signals.append(DetectionSignal.ANIMATE)
+    for write in effects.style_writes:
+        if write.property == "animation":
+            if DetectionSignal.CSS_ANIMATION not in signals:
+                signals.append(DetectionSignal.CSS_ANIMATION)
+            continue
+        spec = transition_for(stylesheet, write.element, write.property)
+        if spec is not None and DetectionSignal.CSS_TRANSITION not in signals:
+            signals.append(DetectionSignal.CSS_TRANSITION)
+    return signals

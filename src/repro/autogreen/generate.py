@@ -1,0 +1,95 @@
+"""AutoGreen phase 3: annotation generation (paper Sec. 5, Fig. 6).
+
+"After profiling, AutoGreen generates QoS annotations and injects them
+back to the original code."
+
+Selectors prefer the most specific stable handle: ``tag#id`` when the
+element has an id, else ``tag.classes``, else the bare tag (with an
+ambiguity warning recorded in the report, since a tag selector may
+over-match).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.autogreen.profiler import AutoGreen, ProfileResult
+from repro.browser.page import Page
+from repro.core.annotations import AnnotationRegistry
+from repro.core.language import GreenWebAnnotation, annotation_to_css
+from repro.web.css.selectors import parse_selector
+from repro.web.dom import Element
+
+
+def selector_for(element: Element) -> str:
+    """A CSS selector (without ``:QoS``) addressing ``element``."""
+    if element.id:
+        return f"{element.tag}#{element.id}"
+    if element.classes:
+        return element.tag + "".join(f".{c}" for c in sorted(element.classes))
+    return element.tag
+
+
+@dataclass
+class AutoGreenReport:
+    """The outcome of a full AutoGreen pass over a page."""
+
+    results: list[ProfileResult]
+    annotations: list[GreenWebAnnotation]
+    css_text: str
+    #: selectors that may over-match (no id and no classes)
+    ambiguous_selectors: list[str] = field(default_factory=list)
+
+    @property
+    def continuous_count(self) -> int:
+        from repro.core.qos import QoSType
+
+        return sum(1 for r in self.results if r.qos_type is QoSType.CONTINUOUS)
+
+    @property
+    def single_count(self) -> int:
+        return len(self.results) - self.continuous_count
+
+
+def generate_annotations(results: list[ProfileResult]) -> AutoGreenReport:
+    """Turn profile results into GreenWeb annotations + CSS text."""
+    annotations: list[GreenWebAnnotation] = []
+    ambiguous: list[str] = []
+    lines: list[str] = []
+    for result in results:
+        base = selector_for(result.element)
+        if not result.element.id and not result.element.classes:
+            ambiguous.append(base)
+        selector = parse_selector(f"{base}:QoS")
+        annotation = GreenWebAnnotation(
+            selector=selector,
+            event_type=result.event_type,
+            spec=result.spec,
+        )
+        annotations.append(annotation)
+        lines.append(annotation_to_css(annotation))
+    return AutoGreenReport(
+        results=results,
+        annotations=annotations,
+        css_text="\n".join(lines),
+        ambiguous_selectors=ambiguous,
+    )
+
+
+def annotate_page(page: Page, max_continuation_depth: int = 3) -> AutoGreenReport:
+    """End-to-end AutoGreen: discover, profile, generate, and *inject*
+    the annotations into the page's stylesheet (so a subsequently built
+    :class:`~repro.core.annotations.AnnotationRegistry` sees them)."""
+    from repro.web.css.parser import parse_stylesheet
+
+    autogreen = AutoGreen(page, max_continuation_depth)
+    report = generate_annotations(autogreen.run())
+    if report.css_text:
+        page.stylesheet.extend(parse_stylesheet(report.css_text))
+    return report
+
+
+def registry_for_page(page: Page) -> AnnotationRegistry:
+    """Build the annotation registry a GreenWeb runtime consumes from a
+    page's (possibly AutoGreen-augmented) stylesheet."""
+    return AnnotationRegistry.from_stylesheet(page.stylesheet)

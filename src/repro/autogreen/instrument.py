@@ -1,0 +1,72 @@
+"""AutoGreen phase 1: DOM node / callback discovery and instrumentation.
+
+"The instrumentation phase first discovers all DOM nodes and their
+associated events in an application, and instruments every event
+callback to inject QoS detection code." (Sec. 5)
+
+In this reproduction, "injecting detection code" means invoking the
+callback against a recording :class:`~repro.web.script.ScriptContext`
+and inspecting the captured effects — the exact observation points the
+paper's overloaded ``animate()``/rAF functions and registered
+``transitionend``/``animationend`` listeners provide.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.browser.page import Page
+from repro.web.dom import Element
+from repro.web.events import MOBILE_EVENT_TYPES, EventType, coerce_event_type
+from repro.web.script import Callback, ScriptContext, ScriptEffects
+
+
+def discover_annotation_targets(page: Page) -> list[tuple[Element, EventType]]:
+    """All (element, event) pairs carrying a mobile-event listener.
+
+    Only the paper's mobile interaction events (click, scroll,
+    touchstart, touchend, touchmove, load) are annotation targets;
+    desktop-only and browser-internal events are skipped.
+    """
+    targets: list[tuple[Element, EventType]] = []
+    for element in page.document.all_elements():
+        for name in element.listened_event_types:
+            try:
+                event_type = coerce_event_type(name)
+            except Exception:
+                continue
+            if event_type in MOBILE_EVENT_TYPES:
+                targets.append((element, event_type))
+    return targets
+
+
+def instrumented_invoke(
+    page: Page,
+    callback: Callback,
+    element: Element,
+    event_type: Optional[EventType],
+    state: dict,
+    rng: Optional[np.random.Generator] = None,
+) -> ScriptEffects:
+    """Run one callback under instrumentation and return its effects.
+
+    The callback sees a *profiling* state dict (the caller snapshots
+    and restores the real one) so profiling runs do not perturb the
+    application (Sec. 5's "explicitly triggering its callback
+    function" without replaying to the user).
+    """
+    from repro.web.events import Event
+
+    event = None
+    if event_type is not None:
+        event = Event(event_type, element, input_id=-1)
+    ctx = ScriptContext(
+        page.document,
+        event=event,
+        state=state,
+        rng=rng if rng is not None else np.random.default_rng(0),
+        now_ms=0.0,
+    )
+    return callback.invoke(ctx)

@@ -1,0 +1,106 @@
+"""AutoGreen phase 2: the profiling run (paper Sec. 5, Fig. 6).
+
+"AutoGreen performs a profiling run of each event by explicitly
+triggering its callback function.  During the callback execution, the
+(injected) detection code checks for certain conditions to determine an
+event's QoS type and QoS target."
+
+The profiler snapshots the application's script state, triggers every
+discovered (element, event) pair, and follows each callback's
+*continuations* (timeouts and rAF registrations) to a bounded depth —
+an animation started from a ``setTimeout`` is still the event's
+animation, and the paper's end-event listeners would catch it.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.autogreen.detector import DetectionSignal, detect_signals
+from repro.autogreen.instrument import discover_annotation_targets, instrumented_invoke
+from repro.browser.page import Page
+from repro.core.qos import QoSSpec, QoSType
+from repro.errors import WorkloadError
+from repro.web.dom import Element
+from repro.web.events import EventType
+from repro.web.script import Callback, ScriptEffects
+
+
+@dataclass
+class ProfileResult:
+    """The classification of one (element, event) pair."""
+
+    element: Element
+    event_type: EventType
+    qos_type: QoSType
+    signals: list[DetectionSignal] = field(default_factory=list)
+    #: how many continuation levels were explored before classification
+    depth_explored: int = 0
+
+    @property
+    def spec(self) -> QoSSpec:
+        """The QoS spec AutoGreen assigns: Table 1 defaults, and for
+        ``single`` always the conservative ``short`` expectation."""
+        if self.qos_type is QoSType.CONTINUOUS:
+            return QoSSpec.continuous()
+        return QoSSpec.single()
+
+
+class AutoGreen:
+    """The automatic annotation framework."""
+
+    def __init__(self, page: Page, max_continuation_depth: int = 3) -> None:
+        if max_continuation_depth < 0:
+            raise WorkloadError("continuation depth must be non-negative")
+        self.page = page
+        self.max_continuation_depth = max_continuation_depth
+
+    def discover(self) -> list[tuple[Element, EventType]]:
+        """Phase 1: the annotation targets."""
+        return discover_annotation_targets(self.page)
+
+    def profile_event(self, element: Element, event_type: EventType) -> ProfileResult:
+        """Phase 2 for one event: trigger its callbacks in a sandbox and
+        classify.  The page's real script state is untouched."""
+        sandbox_state = copy.deepcopy(self.page.state)
+        signals: list[DetectionSignal] = []
+        depth_explored = 0
+
+        frontier: list[tuple[Callback, Optional[EventType]]] = [
+            (callback, event_type) for callback in element.listeners(event_type.value)
+        ]
+        depth = 0
+        while frontier and depth <= self.max_continuation_depth:
+            next_frontier: list[tuple[Callback, Optional[EventType]]] = []
+            for callback, etype in frontier:
+                effects = instrumented_invoke(
+                    self.page, callback, element, etype, sandbox_state
+                )
+                for signal in detect_signals(effects, self.page.stylesheet):
+                    if signal not in signals:
+                        signals.append(signal)
+                next_frontier.extend(self._continuations(effects))
+            depth_explored = depth
+            if signals:
+                break  # classification settled; no need to dig deeper
+            frontier = next_frontier
+            depth += 1
+
+        qos_type = QoSType.CONTINUOUS if signals else QoSType.SINGLE
+        return ProfileResult(element, event_type, qos_type, signals, depth_explored)
+
+    @staticmethod
+    def _continuations(effects: ScriptEffects) -> list[tuple[Callback, Optional[EventType]]]:
+        continuations: list[tuple[Callback, Optional[EventType]]] = []
+        for timeout in effects.timeouts:
+            continuations.append((timeout.callback, None))
+        # rAF handlers already classified the event as continuous, so
+        # they are not explored further; timeouts are the only
+        # QoS-neutral continuation.
+        return continuations
+
+    def run(self) -> list[ProfileResult]:
+        """Profile every discovered target."""
+        return [self.profile_event(element, etype) for element, etype in self.discover()]

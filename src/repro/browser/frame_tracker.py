@@ -1,0 +1,158 @@
+"""Frame latency tracking and event-frame association.
+
+Implements the paper's Fig. 8 algorithm and Sec. 6.4 association:
+
+* every input gets an :class:`InputRecord` keyed by its unique id;
+* each displayed frame carries the ``Msg`` metadata of every input
+  that contributed to it (dirty-bit batching can merge several inputs
+  into one frame), and per-input latency is computed at display time
+  (Part III);
+* the *transitive closure* of an input — callbacks, timeouts, rAF
+  handlers, animations it spawned — is tracked by reference counting:
+  the browser retains the input's record for every outstanding
+  continuation and releases on completion.  When the count drops to
+  zero the input's associated frames are complete and the policy is
+  told (the moment a GreenWeb runtime conserves energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import BrowserError
+from repro.browser.messages import FrameContributor, InputMsg
+
+
+@dataclass
+class InputRecord:
+    """Lifetime bookkeeping for one user input."""
+
+    msg: InputMsg
+    #: Latency (us) of every frame attributed to this input, display order.
+    frame_latencies_us: list[int] = field(default_factory=list)
+    #: Outstanding continuations (tasks, timers, animations, dirty bits).
+    outstanding: int = 0
+    completed: bool = False
+    complete_us: Optional[int] = None
+
+    @property
+    def uid(self) -> int:
+        return self.msg.uid
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.frame_latencies_us)
+
+    @property
+    def first_frame_latency_us(self) -> Optional[int]:
+        return self.frame_latencies_us[0] if self.frame_latencies_us else None
+
+
+@dataclass
+class FrameRecord:
+    """One produced frame and its input attribution."""
+
+    seq: int
+    vsync_us: int
+    complexity: float
+    contributors: list[FrameContributor]
+    display_us: Optional[int] = None
+    #: Per-input latency, filled at display time (Fig. 8 Part III).
+    latencies_us: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def uids(self) -> list[int]:
+        return [c.msg.uid for c in self.contributors]
+
+    @property
+    def displayed(self) -> bool:
+        return self.display_us is not None
+
+    @property
+    def max_latency_us(self) -> int:
+        """The worst per-input latency of this frame (0 if none)."""
+        return max(self.latencies_us.values(), default=0)
+
+
+class FrameTracker:
+    """Owns all input records; computes latencies and completion."""
+
+    def __init__(
+        self, on_input_complete: Optional[Callable[[InputRecord], None]] = None
+    ) -> None:
+        self._records: dict[int, InputRecord] = {}
+        self._on_input_complete = on_input_complete
+        self.frames_displayed = 0
+
+    # ------------------------------------------------------------------
+    # Input lifecycle
+    # ------------------------------------------------------------------
+    def input_received(self, msg: InputMsg) -> InputRecord:
+        """Register a new input (Fig. 8 Part I has just stamped it)."""
+        if msg.uid in self._records:
+            raise BrowserError(f"duplicate input uid {msg.uid}")
+        record = InputRecord(msg=msg)
+        self._records[msg.uid] = record
+        return record
+
+    def record(self, uid: int) -> InputRecord:
+        try:
+            return self._records[uid]
+        except KeyError:
+            raise BrowserError(f"unknown input uid {uid}") from None
+
+    def retain(self, uid: int) -> None:
+        """One more outstanding continuation for this input."""
+        record = self.record(uid)
+        if record.completed:
+            # A continuation appeared after completion (e.g. a very late
+            # timer).  Reopen the record; completion will fire again.
+            record.completed = False
+            record.complete_us = None
+        record.outstanding += 1
+
+    def release(self, uid: int, now_us: int = 0) -> None:
+        """One continuation finished; completes the input at zero."""
+        record = self.record(uid)
+        if record.outstanding <= 0:
+            raise BrowserError(f"release without retain for input {uid}")
+        record.outstanding -= 1
+        if record.outstanding == 0 and not record.completed:
+            record.completed = True
+            record.complete_us = now_us
+            if self._on_input_complete is not None:
+                self._on_input_complete(record)
+
+    # ------------------------------------------------------------------
+    # Frames
+    # ------------------------------------------------------------------
+    def frame_displayed(self, frame: FrameRecord, display_us: int) -> None:
+        """Fig. 8 Part III: compute per-input latency for every Msg that
+        rode along with the frame, then release the inputs' dirty
+        retains."""
+        frame.display_us = display_us
+        self.frames_displayed += 1
+        for contributor in frame.contributors:
+            latency = display_us - contributor.clock_start_us
+            frame.latencies_us[contributor.msg.uid] = latency
+            self.record(contributor.msg.uid).frame_latencies_us.append(latency)
+        # Release after all latencies are recorded so a completion
+        # callback sees the full frame list.
+        for contributor in frame.contributors:
+            self.release(contributor.msg.uid, display_us)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> list[InputRecord]:
+        """All input records, in arrival order."""
+        return list(self._records.values())
+
+    def all_frame_latencies_us(self) -> list[int]:
+        """Every (input, frame) latency observation in the run."""
+        out: list[int] = []
+        for record in self._records.values():
+            out.extend(record.frame_latencies_us)
+        return out

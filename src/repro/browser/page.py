@@ -1,0 +1,57 @@
+"""A loaded page: DOM + stylesheet + render cost + script state.
+
+The workload layer (:mod:`repro.workloads`) builds ``Page`` objects for
+each of the paper's twelve applications; the browser engine runs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.browser.stages import RenderCostModel
+from repro.web.css.stylesheet import Stylesheet
+from repro.web.dom import Document
+
+
+@dataclass
+class Page:
+    """Everything the browser needs to run one web application.
+
+    Attributes:
+        name: application name (e.g. ``"todo"``).
+        document: the DOM.
+        stylesheet: combined CSS (style rules + GreenWeb QoS rules).
+        render_cost: per-stage render work model for this page.
+        state: the application's persistent script state (callbacks
+            read and write this across invocations).
+        rng: the page's seeded RNG stream (callbacks draw complexity
+            and work from it).
+        native_scroll_complexity: render complexity of browser-native
+            scrolling — a ``scroll``/``touchmove`` input produces a
+            frame even with no registered listener, as real compositor
+            scrolling does.  0 disables native scrolling.
+    """
+
+    name: str
+    document: Document
+    stylesheet: Stylesheet = field(default_factory=Stylesheet)
+    render_cost: RenderCostModel = field(default_factory=RenderCostModel)
+    state: dict = field(default_factory=dict)
+    rng: Optional[np.random.Generator] = None
+    native_scroll_complexity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = np.random.default_rng(0)
+
+    def element_by_id(self, element_id: str):
+        """Convenience lookup that raises on a missing id."""
+        element = self.document.get_element_by_id(element_id)
+        if element is None:
+            from repro.errors import DomError
+
+            raise DomError(f"page {self.name!r} has no element with id {element_id!r}")
+        return element

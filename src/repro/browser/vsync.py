@@ -1,0 +1,72 @@
+"""VSync signal source.
+
+Mobile displays refresh at 60 Hz; browsers only produce frames on
+VSync to avoid tearing (paper Sec. 6.3).  The source fires a callback
+every period; the browser decides at each tick whether a frame is
+needed (dirty bit set, rAF handlers pending, animations active).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import BrowserError
+from repro.sim.kernel import Kernel
+
+#: 60 Hz refresh in integer microseconds (the 1/3 us truncation per
+#: tick is irrelevant at the millisecond QoS granularity).
+VSYNC_PERIOD_US: int = 16_667
+
+
+class VsyncSource:
+    """Fires ``on_tick`` every ``period_us`` while started."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        on_tick: Callable[[int], None],
+        period_us: int = VSYNC_PERIOD_US,
+    ) -> None:
+        if period_us <= 0:
+            raise BrowserError(f"non-positive VSync period: {period_us}")
+        self._kernel = kernel
+        self._on_tick = on_tick
+        self.period_us = period_us
+        self._running = False
+        self._tick_count = 0
+        self._event = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def tick_count(self) -> int:
+        """Number of VSync ticks delivered so far."""
+        return self._tick_count
+
+    def start(self) -> None:
+        """Begin ticking (first tick one period from now)."""
+        if self._running:
+            return
+        self._running = True
+        self._arm()
+
+    def stop(self) -> None:
+        """Stop ticking (pending tick is cancelled)."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _arm(self) -> None:
+        self._event = self._kernel.schedule_in(self.period_us, self._fire, label="vsync")
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._tick_count += 1
+        # Re-arm before the handler so a long handler cannot drift the
+        # phase: ticks stay on the fixed 60 Hz grid.
+        self._arm()
+        self._on_tick(self._kernel.now_us)

@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``apps`` — list the twelve Table 3 applications with their metadata.
+* ``run APP`` — run one (application, governor, scenario) cell and
+  print the scorecard; ``--export-trace out.json`` additionally writes
+  a Chrome-trace timeline loadable in chrome://tracing or Perfetto.
+* ``figures`` — regenerate the paper's figures/tables (all, or a
+  selection) as text, with ASCII bar charts for the energy figures.
+* ``autogreen APP`` — run AutoGreen on the unannotated application and
+  print the generated GreenWeb CSS.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.qos import UsageScenario
+from repro.evaluation.runner import GOVERNORS, run_workload
+from repro.workloads.registry import APP_NAMES, build_app, table3_specs
+
+
+def _cmd_apps(_args: argparse.Namespace) -> int:
+    print(f"{'name':12s} {'interaction':12s} {'QoS type':11s} {'target':16s} "
+          f"{'events':>6s} {'time':>5s} {'annot%':>7s}")
+    for spec in table3_specs():
+        print(
+            f"{spec.name:12s} {str(spec.micro_interaction):12s} "
+            f"{str(spec.micro_qos_type):11s} {spec.micro_target_label:16s} "
+            f"{spec.full_events:6d} {spec.full_duration_s:4d}s {spec.annotation_pct:6.1f}%"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_workload(
+        args.app,
+        args.governor,
+        UsageScenario(args.scenario),
+        trace_kind=args.trace,
+        seed=args.seed,
+    )
+    print(f"app:            {result.app} ({result.trace_kind} trace, seed {args.seed})")
+    print(f"governor:       {result.governor} / {result.scenario}")
+    print(f"duration:       {result.duration_s:.1f} s simulated")
+    print(f"inputs/frames:  {result.inputs} / {result.frames} "
+          f"({result.skipped_vsyncs} skipped vsyncs)")
+    print(f"energy:         {result.energy_j:.3f} J total, "
+          f"{result.active_energy_j * 1000:.1f} mJ in interaction windows")
+    print(f"QoS violations: {result.mean_violation_pct:.2f}% mean over "
+          f"{result.annotated_events} annotated events")
+    print(f"switching:      {result.freq_switches} frequency, "
+          f"{result.migrations} migrations")
+    residency = sorted(
+        result.config_residency.items(), key=lambda kv: kv[1], reverse=True
+    )
+    shown = ", ".join(f"{config}={fraction:.0%}" for config, fraction in residency[:4])
+    print(f"residency:      {shown}")
+    if result.runtime_stats:
+        print(f"runtime:        {result.runtime_stats}")
+
+    if args.export_trace:
+        count = _export_trace(args)
+        print(f"chrome trace:   {args.export_trace} ({count} events)")
+    return 0
+
+
+def _export_trace(args: argparse.Namespace) -> int:
+    """Re-run with trace retention and export a Chrome-trace JSON."""
+    from repro.browser.engine import Browser
+    from repro.core.annotations import AnnotationRegistry
+    from repro.evaluation.runner import make_policy
+    from repro.hardware.platform import odroid_xu_e
+    from repro.sim.clock import s_to_us
+    from repro.sim.trace_export import export_chrome_trace
+    from repro.workloads.interactions import InteractionDriver
+
+    bundle = build_app(args.app, args.seed)
+    trace_obj = bundle.micro_trace if args.trace == "micro" else bundle.full_trace
+    platform = odroid_xu_e(record_power_intervals=False)
+    platform.record_task_spans = True  # per-thread timeline tracks
+    registry = AnnotationRegistry.from_stylesheet(bundle.page.stylesheet)
+    policy = make_policy(args.governor, platform, registry, UsageScenario(args.scenario))
+    browser = Browser(platform, bundle.page, policy=policy)
+    driver = InteractionDriver(browser)
+    driver.schedule(trace_obj)
+    platform.run_for(trace_obj.duration_us + s_to_us(4))
+    return export_chrome_trace(platform.trace, args.export_trace)
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.evaluation import experiments
+    from repro.evaluation import report
+
+    which = set(args.only) if args.only else {
+        "table1", "fig9", "fig10", "fig11", "fig12", "table3"
+    }
+    apps = args.apps or None
+
+    if "table1" in which:
+        print(report.render_table1(), end="\n\n")
+    if "fig9" in which:
+        rows9 = experiments.run_fig9_microbenchmarks(apps=apps)
+        print(report.render_fig9(rows9), end="\n\n")
+        print("GreenWeb-I energy (normalised to Perf, lower is better):")
+        print(report.ascii_bars(
+            [r.app for r in rows9],
+            [r.greenweb_i_energy_norm_pct for r in rows9],
+            max_value=100.0,
+        ), end="\n\n")
+    rows10 = None
+    if which & {"fig10", "fig11", "fig12"}:
+        rows10 = experiments.run_fig10_full_interactions(apps=apps)
+    if "fig10" in which:
+        print(report.render_fig10(rows10), end="\n\n")
+        print("GreenWeb-U energy (normalised to Perf, lower is better):")
+        print(report.ascii_bars(
+            [r.app for r in rows10],
+            [r.greenweb_u_energy_norm_pct for r in rows10],
+            max_value=100.0,
+        ), end="\n\n")
+    if "fig11" in which:
+        rows11 = experiments.run_fig11_distribution(fig10_rows=rows10)
+        print(report.render_fig11(rows11), end="\n\n")
+    if "fig12" in which:
+        rows12 = experiments.run_fig12_switching(fig10_rows=rows10)
+        print(report.render_fig12(rows12), end="\n\n")
+    if "table3" in which:
+        print(report.render_table3(experiments.run_table3_characteristics()), end="\n\n")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Frame-timeline analysis of one run (p50/p95/p99, FPS, jank)."""
+    from repro.browser.engine import Browser
+    from repro.core.annotations import AnnotationRegistry
+    from repro.evaluation.analysis import fps_over_time, frame_timeline_stats
+    from repro.evaluation.report import ascii_bars
+    from repro.evaluation.runner import make_policy
+    from repro.hardware.platform import odroid_xu_e
+    from repro.sim.clock import s_to_us
+    from repro.workloads.interactions import InteractionDriver
+
+    bundle = build_app(args.app, args.seed)
+    trace_obj = bundle.micro_trace if args.trace == "micro" else bundle.full_trace
+    platform = odroid_xu_e(record_power_intervals=False)
+    registry = AnnotationRegistry.from_stylesheet(bundle.page.stylesheet)
+    policy = make_policy(args.governor, platform, registry, UsageScenario(args.scenario))
+    browser = Browser(platform, bundle.page, policy=policy)
+    InteractionDriver(browser).schedule(trace_obj)
+    platform.run_for(trace_obj.duration_us + s_to_us(4))
+
+    stats = frame_timeline_stats(platform.trace)
+    print(f"frame timeline for {args.app} / {args.governor} / {args.scenario}:")
+    print(f"  frames:      {stats.frame_count} over {stats.duration_s:.1f} s "
+          f"({stats.mean_fps:.1f} fps mean)")
+    print(f"  latency:     p50={stats.latency_p50_us/1000:.1f} ms  "
+          f"p95={stats.latency_p95_us/1000:.1f} ms  "
+          f"p99={stats.latency_p99_us/1000:.1f} ms  "
+          f"max={stats.latency_max_us/1000:.1f} ms")
+    print(f"  jank:        {stats.jank_count} frames >= 2 vsync periods "
+          f"({stats.jank_rate:.1%})")
+    series = fps_over_time(platform.trace, bucket_ms=1000)
+    if series:
+        print("\nfps over time (1 s buckets):")
+        print(ascii_bars(
+            [f"{t:5.0f}s" for t, _ in series],
+            [fps for _, fps in series],
+            unit=" fps",
+            max_value=60.0,
+        ))
+    return 0
+
+
+def _cmd_autogreen(args: argparse.Namespace) -> int:
+    from repro.autogreen import AutoGreen, generate_annotations
+
+    bundle = build_app(args.app, with_manual_annotations=False)
+    report = generate_annotations(AutoGreen(bundle.page).run())
+    print(f"AutoGreen on {args.app!r}: {len(report.results)} target(s), "
+          f"{report.continuous_count} continuous / {report.single_count} single")
+    print(report.css_text or "(no annotation targets discovered)")
+    if report.ambiguous_selectors:
+        print(f"warning: ambiguous selectors (may over-match): "
+              f"{', '.join(report.ambiguous_selectors)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GreenWeb (PLDI 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the Table 3 applications").set_defaults(
+        fn=_cmd_apps
+    )
+
+    run_parser = sub.add_parser("run", help="run one experiment cell")
+    run_parser.add_argument("app", choices=APP_NAMES)
+    run_parser.add_argument("--governor", default="greenweb", choices=GOVERNORS)
+    run_parser.add_argument(
+        "--scenario", default="imperceptible", choices=["imperceptible", "usable"]
+    )
+    run_parser.add_argument("--trace", default="micro", choices=["micro", "full"])
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--export-trace",
+        metavar="PATH",
+        help="also write a chrome://tracing timeline JSON",
+    )
+    run_parser.set_defaults(fn=_cmd_run)
+
+    figures_parser = sub.add_parser("figures", help="regenerate paper figures")
+    figures_parser.add_argument(
+        "--only",
+        nargs="+",
+        choices=["table1", "fig9", "fig10", "fig11", "fig12", "table3"],
+        help="subset of figures (default: all)",
+    )
+    figures_parser.add_argument(
+        "--apps", nargs="+", choices=APP_NAMES, help="subset of applications"
+    )
+    figures_parser.set_defaults(fn=_cmd_figures)
+
+    analyze_parser = sub.add_parser("analyze", help="frame-timeline stats for a run")
+    analyze_parser.add_argument("app", choices=APP_NAMES)
+    analyze_parser.add_argument("--governor", default="greenweb", choices=GOVERNORS)
+    analyze_parser.add_argument(
+        "--scenario", default="imperceptible", choices=["imperceptible", "usable"]
+    )
+    analyze_parser.add_argument("--trace", default="micro", choices=["micro", "full"])
+    analyze_parser.add_argument("--seed", type=int, default=0)
+    analyze_parser.set_defaults(fn=_cmd_analyze)
+
+    autogreen_parser = sub.add_parser("autogreen", help="auto-annotate an app")
+    autogreen_parser.add_argument("app", choices=APP_NAMES)
+    autogreen_parser.set_defaults(fn=_cmd_autogreen)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Piped into `head` etc.: the consumer closing the pipe is not
+        # an error.  Swallow the tail and exit cleanly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

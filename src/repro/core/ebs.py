@@ -1,0 +1,162 @@
+"""Event-Based Scheduling (EBS) — the annotation-free point of
+comparison from the paper's Sec. 9.
+
+EBS (Zhu et al., HPCA 2015) trades event execution latency against
+energy *without* QoS annotations: it measures each event's latency at
+runtime and uses the measurement as a proxy for what users will
+tolerate.  The paper's critique, verbatim:
+
+    "If an event takes a long time to execute, EBS 'guesses' that it
+    is an event for which users could naturally tolerate a long
+    latency and, thus, decides to reduce CPU frequency.  However, the
+    measured latency is merely an artifact of a particular mobile
+    system's capability ... GreenWeb annotations express inherent user
+    QoS expectations and thus provide definitive QoS constraints."
+
+This implementation follows that description: per event key it tracks
+the observed latency, derives a *tolerated* latency as a multiple of
+the long-run observation, and picks the minimum-energy configuration
+predicted to stay within it.  The circularity the paper criticises is
+real and observable here: running slower inflates the next
+measurement, which licenses running slower still, drifting QoS for
+latency-tolerant-*looking* events (see ``bench_ablation_ebs.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.browser.engine import BrowserPolicy
+from repro.browser.frame_tracker import FrameRecord, InputRecord
+from repro.browser.messages import InputMsg
+from repro.core.energy_model import PowerTable
+from repro.core.perf_model import ClusterModelSet, fit_dvfs_model
+from repro.core.predictor import ConfigPredictor
+from repro.errors import RuntimeModelError
+from repro.hardware.dvfs import CpuConfig
+from repro.hardware.platform import MobilePlatform
+from repro.web.events import Event
+
+
+@dataclass
+class _EbsKeyState:
+    """Per-event-key state: the latency EWMA and the fitted model."""
+
+    observed_latency_us: Optional[float] = None
+    models: ClusterModelSet = field(default_factory=ClusterModelSet)
+    profile_sample: Optional[tuple[int, float]] = None
+    phase: str = "profile-max"  # profile-max -> profile-min -> stable
+
+
+class EbsGovernor(BrowserPolicy):
+    """Annotation-free event-based scheduling.
+
+    Args:
+        tolerance_factor: how much slower than the *measured* latency
+            an event is allowed to get (EBS's latency slack).
+        latency_ewma_alpha: smoothing of the latency measurement.
+    """
+
+    def __init__(
+        self,
+        platform: MobilePlatform,
+        tolerance_factor: float = 1.5,
+        latency_ewma_alpha: float = 0.4,
+        idle_config: Optional[CpuConfig] = None,
+    ) -> None:
+        if tolerance_factor < 1.0:
+            raise RuntimeModelError("tolerance factor must be >= 1")
+        if not 0 < latency_ewma_alpha <= 1:
+            raise RuntimeModelError("EWMA alpha must be in (0, 1]")
+        self.platform = platform
+        self.tolerance_factor = tolerance_factor
+        self.latency_ewma_alpha = latency_ewma_alpha
+        self.power_table = PowerTable.profile(platform)
+        self.predictor = ConfigPredictor(self.power_table)
+        configs = platform.all_configs()
+        self.idle_config = idle_config if idle_config is not None else configs[0]
+        big = platform.cluster("big").spec
+        little = platform.cluster("little").spec
+        self._big_fmax = CpuConfig("big", big.opps.max.freq_mhz)
+        self._big_fmin = CpuConfig("big", big.opps.min.freq_mhz)
+        self._little_cycle_factor = big.ipc_factor / little.ipc_factor
+        self._keys: dict[str, _EbsKeyState] = {}
+        self._uid_keys: dict[int, str] = {}
+        self._demanding: set[int] = set()
+        self.decisions = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, browser) -> None:
+        super().bind(browser)
+        self.platform.set_config(self.idle_config)
+
+    def on_input(self, msg: InputMsg, event: Event) -> None:
+        key = f"{msg.target_key}@{event.type}"
+        self._uid_keys[msg.uid] = key
+        self._demanding.add(msg.uid)
+        self.platform.set_config(self._config_for(self._key_state(key)))
+
+    def on_frame_scheduled(self, vsync_us: int, msgs: list[InputMsg]) -> None:
+        for msg in msgs:
+            key = self._uid_keys.get(msg.uid)
+            if key is not None:
+                self.platform.set_config(self._config_for(self._key_state(key)))
+                return
+
+    def on_frame_displayed(self, frame: FrameRecord) -> None:
+        observed = float(frame.max_latency_us)
+        for uid in frame.uids:
+            key = self._uid_keys.get(uid)
+            if key is None:
+                continue
+            state = self._key_state(key)
+            self._learn(state, observed)
+            break
+
+    def on_input_complete(self, record: InputRecord) -> None:
+        self._demanding.discard(record.uid)
+        if not self._demanding:
+            self.platform.set_config(self.idle_config)
+
+    # ------------------------------------------------------------------
+    def _key_state(self, key: str) -> _EbsKeyState:
+        if key not in self._keys:
+            self._keys[key] = _EbsKeyState()
+        return self._keys[key]
+
+    def _config_for(self, state: _EbsKeyState) -> CpuConfig:
+        self.decisions += 1
+        if state.phase == "profile-max":
+            return self._big_fmax
+        if state.phase == "profile-min":
+            return self._big_fmin
+        assert state.observed_latency_us is not None
+        # The EBS guess: users tolerate tolerance_factor x what they
+        # have been getting.  No notion of inherent QoS expectations.
+        tolerated_ms = state.observed_latency_us * self.tolerance_factor / 1000.0
+        prediction = self.predictor.predict(state.models, max(tolerated_ms, 0.001))
+        return prediction.config
+
+    def _learn(self, state: _EbsKeyState, observed_us: float) -> None:
+        if state.phase == "profile-max":
+            state.profile_sample = (self._big_fmax.freq_mhz, observed_us)
+            state.phase = "profile-min"
+        elif state.phase == "profile-min":
+            assert state.profile_sample is not None
+            fmax_mhz, latency_max = state.profile_sample
+            big_model = fit_dvfs_model(
+                fmax_mhz, latency_max, self._big_fmin.freq_mhz, observed_us
+            )
+            state.models.set("big", big_model)
+            state.models.set(
+                "little", big_model.scaled_cycles(self._little_cycle_factor)
+            )
+            state.phase = "stable"
+        if state.observed_latency_us is None:
+            state.observed_latency_us = observed_us
+        else:
+            alpha = self.latency_ewma_alpha
+            state.observed_latency_us = (
+                (1 - alpha) * state.observed_latency_us + alpha * observed_us
+            )

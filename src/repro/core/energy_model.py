@@ -1,0 +1,60 @@
+"""The runtime's energy model (paper Sec. 6.2).
+
+"The energy model can be built based on the performance model and the
+power consumption under different core and frequency settings.  We
+profile the different power consumptions statically and hard-code them
+into the runtime."
+
+:class:`PowerTable` is that hard-coded table: busy power (one active
+core + cluster leakage) per configuration, captured once from the
+platform's power model at runtime construction.  Predicted frame
+energy is then ``busy_power(config) * predicted_latency(config)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuntimeModelError
+from repro.hardware.dvfs import CpuConfig
+from repro.hardware.platform import MobilePlatform
+
+
+class PowerTable:
+    """Statically profiled busy-power per <cluster, frequency> config."""
+
+    def __init__(self, busy_power_w: dict[CpuConfig, float]) -> None:
+        if not busy_power_w:
+            raise RuntimeModelError("power table cannot be empty")
+        self._busy_power_w = dict(busy_power_w)
+
+    @classmethod
+    def profile(cls, platform: MobilePlatform) -> "PowerTable":
+        """Build the table from a platform (the offline profiling step)."""
+        table: dict[CpuConfig, float] = {}
+        for config in platform.all_configs():
+            spec = platform.cluster(config.cluster).spec
+            opp = spec.opps.at(config.freq_mhz)
+            table[config] = platform.power_model.core_dynamic_w(
+                spec, opp
+            ) + platform.power_model.cluster_static_w(spec, opp)
+        return cls(table)
+
+    def busy_power_w(self, config: CpuConfig) -> float:
+        """Busy power (watts) at ``config``.
+
+        Raises:
+            RuntimeModelError: for a configuration not in the table.
+        """
+        try:
+            return self._busy_power_w[config]
+        except KeyError:
+            raise RuntimeModelError(f"no power entry for {config}") from None
+
+    def configs(self) -> list[CpuConfig]:
+        """All profiled configurations."""
+        return list(self._busy_power_w)
+
+    def frame_energy_j(self, config: CpuConfig, predicted_latency_us: float) -> float:
+        """Predicted energy of a frame: busy power x predicted time."""
+        if predicted_latency_us < 0:
+            raise RuntimeModelError(f"negative latency: {predicted_latency_us}")
+        return self.busy_power_w(config) * predicted_latency_us * 1e-6

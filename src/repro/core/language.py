@@ -1,0 +1,221 @@
+"""The GreenWeb language extension (paper Sec. 4, Fig. 3, Table 2).
+
+GreenWeb extends CSS with one pseudo-class and one property family::
+
+    GreenWebRule ::= Selector? { QoSDecl+ }
+    Selector     ::= Element:QoS
+    QoSDecl      ::= CDecl | SDecl
+    CDecl        ::= on<event>-qos: continuous [, v, v]
+    SDecl        ::= on<event>-qos: single, short|long | single, v, v
+
+Semantics (Table 2):
+
+* ``onevent-qos: continuous`` — once ``event`` fires on a selected
+  element, continuously optimise every associated frame's latency;
+  default targets TI=16.6 ms, TU=33.3 ms.
+* ``onevent-qos: single, short|long`` — optimise the latency of the
+  single frame the event causes; defaults (100, 300) ms for ``short``
+  and (1, 10) s for ``long``.
+* ``onevent-qos: continuous|single, ti, tu`` — explicit TI and TU in
+  milliseconds.  Both values must appear or be omitted together.
+
+This module extracts :class:`GreenWebAnnotation` records from a parsed
+stylesheet; it deliberately reuses the stock CSS object model — the
+whole point of the design is that GreenWeb *is* CSS (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnnotationError
+from repro.core.qos import (
+    QoSSpec,
+    QoSTarget,
+    QoSType,
+    ResponseExpectation,
+)
+from repro.web.css.selectors import Selector
+from repro.web.css.stylesheet import Declaration, Stylesheet
+from repro.web.css.tokenizer import CssToken, CssTokenType
+from repro.web.events import EventType
+
+#: Suffix of the GreenWeb property family.
+QOS_PROPERTY_SUFFIX = "-qos"
+#: Prefix of the event name inside the property (``onclick-qos``).
+QOS_PROPERTY_PREFIX = "on"
+
+
+@dataclass(frozen=True)
+class GreenWebAnnotation:
+    """One extracted GreenWeb annotation: *when ``event_type`` fires on
+    elements matching ``selector``, apply ``spec``*."""
+
+    selector: Selector
+    event_type: EventType
+    spec: QoSSpec
+    #: source order of the enclosing rule, for cascade tie-breaking
+    source_order: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.selector} {{ on{self.event_type}-qos: {self.spec} }}"
+
+
+def is_qos_property(prop: str) -> bool:
+    """True if ``prop`` is a GreenWeb ``on<event>-qos`` property."""
+    return prop.startswith(QOS_PROPERTY_PREFIX) and prop.endswith(QOS_PROPERTY_SUFFIX)
+
+
+def event_type_of_property(prop: str) -> EventType:
+    """Map ``onclick-qos`` -> :attr:`EventType.CLICK`.
+
+    Raises:
+        AnnotationError: if the embedded event name is unknown.
+    """
+    if not is_qos_property(prop):
+        raise AnnotationError(f"{prop!r} is not a GreenWeb QoS property")
+    name = prop[len(QOS_PROPERTY_PREFIX) : -len(QOS_PROPERTY_SUFFIX)]
+    try:
+        return EventType(name)
+    except ValueError:
+        raise AnnotationError(
+            f"unknown event {name!r} in GreenWeb property {prop!r}; "
+            f"supported: {[e.value for e in EventType]}"
+        ) from None
+
+
+def parse_qos_declaration(declaration: Declaration) -> QoSSpec:
+    """Parse the value of an ``on<event>-qos`` declaration (Table 2).
+
+    Raises:
+        AnnotationError: on malformed values (with a description of the
+            accepted forms).
+    """
+    tokens = [t for t in declaration.tokens if t.type is not CssTokenType.COMMA]
+    if not tokens:
+        raise AnnotationError(f"empty QoS declaration {declaration!r}")
+
+    head = tokens[0]
+    if head.type is not CssTokenType.IDENT or head.value.lower() not in (
+        "continuous",
+        "single",
+    ):
+        raise AnnotationError(
+            f"QoS type must be 'continuous' or 'single', got {head.value!r} "
+            f"in {declaration.property!r}"
+        )
+    qos_type = QoSType(head.value.lower())
+    rest = tokens[1:]
+
+    if qos_type is QoSType.CONTINUOUS:
+        if not rest:
+            return QoSSpec.continuous()
+        target = _parse_target_pair(rest, declaration)
+        return QoSSpec.continuous(target)
+
+    # single
+    if not rest:
+        raise AnnotationError(
+            f"'single' requires 'short'/'long' or explicit targets in "
+            f"{declaration.property!r}"
+        )
+    if rest[0].type is CssTokenType.IDENT:
+        keyword = rest[0].value.lower()
+        if keyword not in ("short", "long"):
+            raise AnnotationError(
+                f"expected 'short' or 'long' after 'single', got {rest[0].value!r}"
+            )
+        if len(rest) > 1:
+            raise AnnotationError(
+                f"unexpected trailing values after 'single, {keyword}' in "
+                f"{declaration.property!r}"
+            )
+        return QoSSpec.single(ResponseExpectation(keyword))
+    target = _parse_target_pair(rest, declaration)
+    return QoSSpec(QoSType.SINGLE, target)
+
+
+def _parse_target_pair(tokens: list[CssToken], declaration: Declaration) -> QoSTarget:
+    """Explicit TI/TU values: exactly two, milliseconds (Table 2: "both
+    values must either appear or be omitted together")."""
+    if len(tokens) != 2:
+        raise AnnotationError(
+            f"explicit QoS targets need exactly two values (TI, TU); got "
+            f"{len(tokens)} in {declaration.property!r}: {declaration.value!r}"
+        )
+    values = []
+    for token in tokens:
+        if token.type is CssTokenType.NUMBER:
+            values.append(token.numeric)
+        elif token.type is CssTokenType.DIMENSION and token.unit == "ms":
+            values.append(token.numeric)
+        elif token.type is CssTokenType.DIMENSION and token.unit == "s":
+            values.append(token.numeric * 1000.0)
+        else:
+            raise AnnotationError(
+                f"QoS target must be a number (milliseconds), got {token.value!r}"
+            )
+    try:
+        return QoSTarget(values[0], values[1])
+    except Exception as exc:
+        raise AnnotationError(f"invalid QoS target pair in {declaration!r}: {exc}") from exc
+
+
+def extract_annotations(stylesheet: Stylesheet) -> list[GreenWebAnnotation]:
+    """Pull every GreenWeb annotation out of a stylesheet.
+
+    Only rules whose selector carries the ``:QoS`` pseudo-class are
+    considered (Sec. 4.1); a ``on<event>-qos`` declaration inside a
+    non-QoS rule is an authoring error and raises.
+    """
+    annotations: list[GreenWebAnnotation] = []
+    for order, rule in enumerate(stylesheet.rules):
+        qos_declarations = [d for d in rule.declarations if is_qos_property(d.property)]
+        if not qos_declarations:
+            continue
+        if not rule.is_greenweb:
+            raise AnnotationError(
+                f"rule {rule} declares QoS properties but its selector lacks "
+                f"the :QoS pseudo-class"
+            )
+        for selector in rule.selectors:
+            if not selector.has_qos:
+                continue
+            for declaration in qos_declarations:
+                annotations.append(
+                    GreenWebAnnotation(
+                        selector=selector,
+                        event_type=event_type_of_property(declaration.property),
+                        spec=parse_qos_declaration(declaration),
+                        source_order=order,
+                    )
+                )
+    return annotations
+
+
+def annotation_to_css(annotation: GreenWebAnnotation) -> str:
+    """Render an annotation back to GreenWeb CSS text (used by
+    AutoGreen's generation phase)."""
+    spec = annotation.spec
+    if spec.qos_type is QoSType.CONTINUOUS:
+        from repro.core.qos import CONTINUOUS_DEFAULT
+
+        if spec.target == CONTINUOUS_DEFAULT:
+            value = "continuous"
+        else:
+            value = (
+                f"continuous, {_fmt(spec.target.imperceptible_ms)}, "
+                f"{_fmt(spec.target.usable_ms)}"
+            )
+    elif spec.expectation is not None:
+        value = f"single, {spec.expectation}"
+    else:
+        value = (
+            f"single, {_fmt(spec.target.imperceptible_ms)}, "
+            f"{_fmt(spec.target.usable_ms)}"
+        )
+    return f"{annotation.selector} {{ on{annotation.event_type}-qos: {value}; }}"
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"

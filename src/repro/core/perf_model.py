@@ -1,0 +1,119 @@
+"""The runtime's DVFS performance model (paper Sec. 6.2, Eq. 1).
+
+Frame latency under the classical Xie et al. analytical model::
+
+    T = T_independent + N_nonoverlap / f
+
+where ``T_independent`` is frequency-independent time (GPU, memory)
+and ``N_nonoverlap`` the CPU cycles that scale with frequency ``f``.
+Two profiled (frequency, latency) samples give a 2x2 system solved in
+closed form.
+
+Microarchitecture handling: the paper builds separate models for big
+and little cores.  Our runtime fits on the big cluster and *derives*
+the little-cluster model by scaling the cycle count with the statically
+profiled big:little IPC ratio — the same kind of hard-coded offline
+knowledge the paper uses for the power table.  (An ablation in the
+benchmarks profiles both clusters independently instead.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RuntimeModelError
+from repro.hardware.dvfs import CpuConfig
+
+
+@dataclass(frozen=True)
+class PerfModelCoefficients:
+    """Fitted Eq. 1 coefficients for one cluster.
+
+    Attributes:
+        t_independent_us: frequency-independent latency (us).
+        n_cycles: the frequency-scaled cycle count, in *this cluster's*
+            cycles (divide by MHz to get microseconds).
+    """
+
+    t_independent_us: float
+    n_cycles: float
+
+    def predict_us(self, freq_mhz: int) -> float:
+        """Predicted frame latency at ``freq_mhz`` (microseconds)."""
+        if freq_mhz <= 0:
+            raise RuntimeModelError(f"non-positive frequency: {freq_mhz}")
+        return self.t_independent_us + self.n_cycles / freq_mhz
+
+    def with_cycles(self, n_cycles: float) -> "PerfModelCoefficients":
+        """Copy with an updated cycle count (feedback correction)."""
+        return PerfModelCoefficients(self.t_independent_us, max(0.0, n_cycles))
+
+    def scaled_cycles(self, factor: float) -> "PerfModelCoefficients":
+        """Copy with cycles scaled by ``factor`` (IPC-ratio derivation
+        of the little-cluster model from the big-cluster fit)."""
+        if factor <= 0:
+            raise RuntimeModelError(f"non-positive scale factor {factor}")
+        return PerfModelCoefficients(self.t_independent_us, self.n_cycles * factor)
+
+
+def fit_dvfs_model(
+    freq_a_mhz: int, latency_a_us: float, freq_b_mhz: int, latency_b_us: float
+) -> PerfModelCoefficients:
+    """Solve Eq. 1 from two (frequency, latency) profiling samples.
+
+    Closed form::
+
+        N     = (T_b - T_a) / (1/f_b - 1/f_a)
+        T_ind = T_a - N / f_a
+
+    Noise guard: measured latencies include scheduling jitter, so a
+    slightly *faster* run at the lower frequency (negative N) or a
+    negative residual T_independent are clamped to zero rather than
+    rejected — the feedback loop refines them.
+
+    Raises:
+        RuntimeModelError: if the two samples share a frequency.
+    """
+    if freq_a_mhz <= 0 or freq_b_mhz <= 0:
+        raise RuntimeModelError("profiling frequencies must be positive")
+    if freq_a_mhz == freq_b_mhz:
+        raise RuntimeModelError(
+            f"cannot fit Eq. 1 from two samples at the same frequency ({freq_a_mhz} MHz)"
+        )
+    if latency_a_us < 0 or latency_b_us < 0:
+        raise RuntimeModelError("latencies must be non-negative")
+
+    inv_a = 1.0 / freq_a_mhz
+    inv_b = 1.0 / freq_b_mhz
+    n_cycles = (latency_b_us - latency_a_us) / (inv_b - inv_a)
+    n_cycles = max(0.0, n_cycles)
+    t_independent = latency_a_us - n_cycles * inv_a
+    t_independent = max(0.0, t_independent)
+    return PerfModelCoefficients(t_independent_us=t_independent, n_cycles=n_cycles)
+
+
+class ClusterModelSet:
+    """Per-cluster Eq. 1 coefficients for one annotated event key."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, PerfModelCoefficients] = {}
+
+    def set(self, cluster: str, model: PerfModelCoefficients) -> None:
+        self._models[cluster] = model
+
+    def get(self, cluster: str) -> PerfModelCoefficients:
+        try:
+            return self._models[cluster]
+        except KeyError:
+            raise RuntimeModelError(f"no performance model for cluster {cluster!r}") from None
+
+    def has(self, cluster: str) -> bool:
+        return cluster in self._models
+
+    def predict_us(self, config: CpuConfig) -> float:
+        """Predicted latency at an arbitrary configuration."""
+        return self.get(config.cluster).predict_us(config.freq_mhz)
+
+    @property
+    def clusters(self) -> list[str]:
+        return list(self._models)

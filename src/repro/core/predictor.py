@@ -1,0 +1,77 @@
+"""Execution configuration prediction (paper Sec. 6.2).
+
+"With the two models, the GreenWeb runtime sweeps all possible core and
+frequency combinations and selects the one that satisfies the QoS
+target with minimal energy."
+
+If no configuration meets the target, the fastest (minimum predicted
+latency) configuration is chosen — QoS is favoured over energy, the
+same conservative bias AutoGreen applies to its annotations (Sec. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import RuntimeModelError
+from repro.core.energy_model import PowerTable
+from repro.core.perf_model import ClusterModelSet
+from repro.hardware.dvfs import CpuConfig
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One sweep result: the chosen configuration and its predictions."""
+
+    config: CpuConfig
+    latency_us: float
+    energy_j: float
+    meets_target: bool
+
+
+class ConfigPredictor:
+    """Sweeps the configuration space for the minimum-energy config."""
+
+    def __init__(self, power_table: PowerTable) -> None:
+        self._power = power_table
+
+    def predict(
+        self, models: ClusterModelSet, target_ms: float
+    ) -> Prediction:
+        """Choose the ideal configuration for a frame.
+
+        Args:
+            models: fitted per-cluster Eq. 1 coefficients.
+            target_ms: the frame's operative QoS target.
+
+        Returns:
+            The minimum-energy :class:`Prediction` meeting the target,
+            or the fastest configuration when none does.
+
+        Raises:
+            RuntimeModelError: if no cluster model exists for any
+                profiled configuration.
+        """
+        if target_ms <= 0:
+            raise RuntimeModelError(f"non-positive QoS target: {target_ms} ms")
+        target_us = target_ms * 1_000.0
+        best: Optional[Prediction] = None
+        fastest: Optional[Prediction] = None
+        evaluated = 0
+        for config in self._power.configs():
+            if not models.has(config.cluster):
+                continue
+            evaluated += 1
+            latency = models.predict_us(config)
+            energy = self._power.frame_energy_j(config, latency)
+            candidate = Prediction(config, latency, energy, latency <= target_us)
+            if fastest is None or candidate.latency_us < fastest.latency_us:
+                fastest = candidate
+            if candidate.meets_target and (best is None or candidate.energy_j < best.energy_j):
+                best = candidate
+        if evaluated == 0 or fastest is None:
+            raise RuntimeModelError(
+                "no configuration could be evaluated: missing cluster models"
+            )
+        return best if best is not None else fastest

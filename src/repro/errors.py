@@ -1,0 +1,84 @@
+"""Exception hierarchy for the GreenWeb reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid operations on the discrete-event kernel."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled into the past or on a dead kernel."""
+
+
+class HardwareError(ReproError):
+    """Raised for invalid hardware platform configuration or operation."""
+
+
+class FrequencyError(HardwareError):
+    """Raised when a requested operating point does not exist."""
+
+
+class DomError(ReproError):
+    """Raised for malformed DOM operations (bad tree edits, lookups)."""
+
+
+class CssError(ReproError):
+    """Base class for CSS tokenizer / parser errors."""
+
+
+class CssSyntaxError(CssError):
+    """Raised when a stylesheet cannot be tokenized or parsed.
+
+    Carries ``line`` and ``column`` attributes (1-based) locating the
+    offending input where available.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SelectorError(CssError):
+    """Raised when a selector cannot be parsed."""
+
+
+class HtmlParseError(ReproError):
+    """Raised when the minimal HTML parser encounters malformed markup."""
+
+
+class BrowserError(ReproError):
+    """Raised for invalid browser-engine operations."""
+
+
+class AnnotationError(ReproError):
+    """Raised when a GreenWeb annotation is syntactically or semantically
+    invalid (unknown event name, malformed QoS declaration, bad targets)."""
+
+
+class QosError(ReproError):
+    """Raised for invalid QoS type / target constructions."""
+
+
+class RuntimeModelError(ReproError):
+    """Raised when the GreenWeb runtime's predictive models are misused
+    (e.g. asked to predict before profiling has produced coefficients)."""
+
+
+class WorkloadError(ReproError):
+    """Raised for unknown applications or malformed interaction scripts."""
+
+
+class EvaluationError(ReproError):
+    """Raised when an experiment is misconfigured."""

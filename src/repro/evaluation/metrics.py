@@ -1,0 +1,153 @@
+"""Evaluation metrics (paper Sec. 7).
+
+QoS violation: "the percentage by which a frame latency exceeds the QoS
+target.  For example, a frame latency of 200 ms leads to a 100% QoS
+violation under a 100 ms QoS target.  For events with a 'continuous'
+QoS type, we report the geometric mean of all associated frames."
+
+The geometric mean is computed over ``(1 + v_i)`` factors (violations
+are ratios, and many frames have zero violation, which a bare geometric
+mean would collapse to zero) — then mapped back to a percentage.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.browser.frame_tracker import InputRecord
+from repro.core.qos import QoSSpec, QoSType, UsageScenario
+from repro.errors import EvaluationError
+from repro.hardware.dvfs import CpuConfig
+from repro.sim.tracing import TraceLog
+
+
+def violation_pct(latency_us: float, target_us: float) -> float:
+    """Percentage by which a frame latency exceeds the target (>= 0)."""
+    if target_us <= 0:
+        raise EvaluationError(f"non-positive target {target_us}")
+    return max(0.0, (latency_us - target_us) / target_us * 100.0)
+
+
+def geo_mean_violation_pct(latencies_us: Sequence[float], target_us: float) -> float:
+    """Geometric-mean violation across a continuous event's frames."""
+    if not latencies_us:
+        return 0.0
+    log_sum = 0.0
+    for latency in latencies_us:
+        log_sum += math.log1p(violation_pct(latency, target_us) / 100.0)
+    return (math.exp(log_sum / len(latencies_us)) - 1.0) * 100.0
+
+
+def event_violation_pct(
+    record: InputRecord, spec: QoSSpec, scenario: UsageScenario
+) -> Optional[float]:
+    """The QoS violation of one input event under its spec.
+
+    Returns None for events that produced no frames (nothing to judge).
+    """
+    if record.frame_count == 0:
+        return None
+    target_us = spec.target_ms(scenario) * 1_000.0
+    if spec.qos_type is QoSType.SINGLE:
+        return violation_pct(float(record.first_frame_latency_us), target_us)
+    return geo_mean_violation_pct([float(l) for l in record.frame_latencies_us], target_us)
+
+
+def mean_violation_pct(violations: Sequence[Optional[float]]) -> float:
+    """Mean over the events that had something to judge (0 if none)."""
+    values = [v for v in violations if v is not None]
+    return sum(values) / len(values) if values else 0.0
+
+
+def config_residency(
+    trace: TraceLog, start_us: int, end_us: int, initial: CpuConfig
+) -> dict[CpuConfig, float]:
+    """Fraction of wall time spent in each <cluster, frequency>
+    configuration over [start_us, end_us] (Fig. 11's distribution).
+
+    Reads the platform's ``config/applied`` trace records; ``initial``
+    is the configuration in force at ``start_us``.
+    """
+    if end_us <= start_us:
+        raise EvaluationError("empty residency window")
+    timeline: list[tuple[int, CpuConfig]] = [(start_us, initial)]
+    for record in trace.filter(category="config", name="applied"):
+        config = CpuConfig(record["cluster"], record["freq_mhz"])
+        if record.time_us <= start_us:
+            timeline[0] = (start_us, config)
+        elif record.time_us <= end_us:
+            timeline.append((record.time_us, config))
+    timeline.append((end_us, timeline[-1][1]))
+
+    residency: dict[CpuConfig, float] = {}
+    total = end_us - start_us
+    for (t0, config), (t1, _next_config) in zip(timeline, timeline[1:]):
+        dt = t1 - t0
+        if dt > 0:
+            residency[config] = residency.get(config, 0.0) + dt / total
+    return residency
+
+
+def windowed_config_residency(
+    trace: TraceLog,
+    windows: Sequence[tuple[int, int]],
+    initial: CpuConfig,
+) -> dict[CpuConfig, float]:
+    """Config residency restricted to the union of time windows —
+    the per-interaction view of Fig. 11 (idle gaps between interactions
+    would otherwise swamp the distribution)."""
+    applied = [(0, initial)] + [
+        (r.time_us, CpuConfig(r["cluster"], r["freq_mhz"]))
+        for r in trace.filter(category="config", name="applied")
+    ]
+    weights: dict[CpuConfig, float] = {}
+    total = 0
+    for start, end in windows:
+        if end <= start:
+            continue
+        total += end - start
+        # Config in force at window start:
+        index = 0
+        for i, (t, _cfg) in enumerate(applied):
+            if t <= start:
+                index = i
+            else:
+                break
+        t0 = start
+        current = applied[index][1]
+        for t, config in applied[index + 1 :]:
+            if t >= end:
+                break
+            if t > t0:
+                weights[current] = weights.get(current, 0.0) + (t - t0)
+                t0 = t
+            current = config
+        weights[current] = weights.get(current, 0.0) + (end - t0)
+    if total <= 0:
+        return {}
+    return {config: weight / total for config, weight in weights.items()}
+
+
+def cluster_residency(residency: dict[CpuConfig, float]) -> dict[str, float]:
+    """Collapse a config residency into per-cluster fractions."""
+    out: dict[str, float] = {}
+    for config, fraction in residency.items():
+        out[config.cluster] = out.get(config.cluster, 0.0) + fraction
+    return out
+
+
+def switching_per_frame_pct(
+    freq_switches: int, migrations: int, opportunities: int
+) -> tuple[float, float]:
+    """Fig. 12's metric: configuration switches per scheduling
+    opportunity (we count each input event and each produced frame as
+    one opportunity, since the runtime takes a configuration decision
+    at both), split into frequency changes and core migrations
+    (percent)."""
+    if opportunities <= 0:
+        return (0.0, 0.0)
+    return (
+        100.0 * freq_switches / opportunities,
+        100.0 * migrations / opportunities,
+    )

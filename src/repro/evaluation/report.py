@@ -1,0 +1,253 @@
+"""Text rendering of experiment results in the paper's shapes.
+
+Each ``render_*`` function takes the rows its experiment produced and
+returns a plain-text table whose rows/series mirror the corresponding
+paper figure or table, with the paper's reference numbers alongside
+where the paper states them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.qos import TABLE1_CATEGORIES
+from repro.evaluation.experiments import (
+    DistributionRow,
+    FullInteractionRow,
+    MicrobenchRow,
+    SwitchingRow,
+    Table3Row,
+)
+from repro.evaluation.metrics import cluster_residency
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _rule(widths: Sequence[int]) -> str:
+    return "-+-".join("-" * w for w in widths)
+
+
+def _row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "%",
+    max_value: Optional[float] = None,
+) -> str:
+    """A horizontal ASCII bar chart — the terminal rendering of the
+    paper's bar figures (used by the CLI's ``figures`` command)."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if not values:
+        return "(no data)"
+    top = max_value if max_value is not None else max(max(values), 1e-12)
+    label_width = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(width * min(value, top) / top)) if top > 0 else 0
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| {value:6.1f}{unit}")
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """The paper's Table 1: QoS type x target interaction categories."""
+    widths = (12, 16, 10, 60)
+    lines = [
+        "Table 1: interaction categories (QoS type x QoS target)",
+        _row(("QoS type", "QoS target", "Interact.", "Description"), widths),
+        _rule(widths),
+    ]
+    for category in TABLE1_CATEGORIES:
+        target = category.target
+        if target.imperceptible_ms >= 1000:
+            target_text = f"({target.imperceptible_ms/1000:g}, {target.usable_ms/1000:g}) s"
+        else:
+            target_text = f"({target.imperceptible_ms:g}, {target.usable_ms:g}) ms"
+        lines.append(
+            _row(
+                (
+                    str(category.qos_type),
+                    target_text,
+                    ", ".join(category.interactions),
+                    category.description,
+                ),
+                widths,
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_fig9(rows: list[MicrobenchRow]) -> str:
+    """Figs. 9a/9b: micro-benchmark energy (normalised to Perf) and
+    added QoS violations for GreenWeb-I / GreenWeb-U."""
+    widths = (12, 11, 9, 9, 10, 10)
+    lines = [
+        "Fig. 9: micro-benchmarks (energy normalised to Perf; violations on top of Perf)",
+        _row(("app", "QoS type", "GW-I E%", "GW-U E%", "+viol I%", "+viol U%"), widths),
+        _rule(widths),
+    ]
+    for row in rows:
+        lines.append(
+            _row(
+                (
+                    row.app,
+                    str(row.qos_type),
+                    f"{row.greenweb_i_energy_norm_pct:.1f}",
+                    f"{row.greenweb_u_energy_norm_pct:.1f}",
+                    f"{row.greenweb_i_added_violation_pct:.2f}",
+                    f"{row.greenweb_u_added_violation_pct:.2f}",
+                ),
+                widths,
+            )
+        )
+    lines.append(_rule(widths))
+    lines.append(
+        f"mean energy saving: GreenWeb-I {100 - _mean([r.greenweb_i_energy_norm_pct for r in rows]):.1f}% "
+        f"(paper: 31.9%), GreenWeb-U {100 - _mean([r.greenweb_u_energy_norm_pct for r in rows]):.1f}% "
+        f"(paper: 78.0%)"
+    )
+    lines.append(
+        f"mean added violations: I {_mean([r.greenweb_i_added_violation_pct for r in rows]):.2f}% "
+        f"(paper: 1.3%), U {_mean([r.greenweb_u_added_violation_pct for r in rows]):.2f}% (paper: 1.2%)"
+    )
+    return "\n".join(lines)
+
+
+def render_fig10(rows: list[FullInteractionRow]) -> str:
+    """Figs. 10a/b/c: full-interaction energy and violations."""
+    widths = (12, 9, 9, 9, 11, 10, 10)
+    lines = [
+        "Fig. 10: full interactions (energy normalised to Perf; violations on top of Perf)",
+        _row(
+            ("app", "Inter E%", "GW-I E%", "GW-U E%", "+vI inter%", "+vI GW%", "+vU GW%"),
+            widths,
+        ),
+        _rule(widths),
+    ]
+    for row in sorted(rows, key=lambda r: r.greenweb_i_energy_norm_pct):
+        lines.append(
+            _row(
+                (
+                    row.app,
+                    f"{row.interactive_energy_norm_pct:.1f}",
+                    f"{row.greenweb_i_energy_norm_pct:.1f}",
+                    f"{row.greenweb_u_energy_norm_pct:.1f}",
+                    f"{row.interactive_added_violation_i_pct:.2f}",
+                    f"{row.greenweb_i_added_violation_pct:.2f}",
+                    f"{row.greenweb_u_added_violation_pct:.2f}",
+                ),
+                widths,
+            )
+        )
+    lines.append(_rule(widths))
+    saving_i = _mean([r.greenweb_i_saving_vs_interactive_pct for r in rows])
+    saving_u = _mean([r.greenweb_u_saving_vs_interactive_pct for r in rows])
+    lines.append(
+        f"mean saving vs Interactive: GreenWeb-I {saving_i:.1f}% (paper: 29.2%), "
+        f"GreenWeb-U {saving_u:.1f}% (paper: 66.0%)"
+    )
+    lines.append(
+        f"mean added violations: GreenWeb-I {_mean([r.greenweb_i_added_violation_pct for r in rows]):.2f}% "
+        f"(paper: 0.8%), GreenWeb-U {_mean([r.greenweb_u_added_violation_pct for r in rows]):.2f}% "
+        f"(paper: 0.6%)"
+    )
+    return "\n".join(lines)
+
+
+def render_fig11(rows: list[DistributionRow]) -> str:
+    """Figs. 11a/11b: architecture configuration distribution."""
+    widths = (12, 10, 12, 10, 12)
+    lines = [
+        "Fig. 11: configuration residency during interactions (GreenWeb-I vs GreenWeb-U)",
+        _row(("app", "big% (I)", "little% (I)", "big% (U)", "little% (U)"), widths),
+        _rule(widths),
+    ]
+    for row in rows:
+        by_cluster_i = cluster_residency(row.residency_i)
+        by_cluster_u = cluster_residency(row.residency_u)
+        lines.append(
+            _row(
+                (
+                    row.app,
+                    f"{100 * by_cluster_i.get('big', 0.0):.1f}",
+                    f"{100 * by_cluster_i.get('little', 0.0):.1f}",
+                    f"{100 * by_cluster_u.get('big', 0.0):.1f}",
+                    f"{100 * by_cluster_u.get('little', 0.0):.1f}",
+                ),
+                widths,
+            )
+        )
+    lines.append(_rule(widths))
+    lines.append(
+        f"mean big-cluster share: imperceptible {100 * _mean([r.big_fraction_i for r in rows]):.1f}% "
+        f"vs usable {100 * _mean([r.big_fraction_u for r in rows]):.1f}% "
+        f"(paper: GreenWeb-I biases toward big configurations much more than GreenWeb-U)"
+    )
+    return "\n".join(lines)
+
+
+def render_fig12(rows: list[SwitchingRow]) -> str:
+    """Fig. 12: configuration switching frequency."""
+    widths = (12, 10, 9, 10, 9)
+    lines = [
+        "Fig. 12: configuration switches per scheduling opportunity (%)",
+        _row(("app", "freq (I)", "mig (I)", "freq (U)", "mig (U)"), widths),
+        _rule(widths),
+    ]
+    for row in rows:
+        lines.append(
+            _row(
+                (
+                    row.app,
+                    f"{row.freq_switch_pct_i:.1f}",
+                    f"{row.migration_pct_i:.1f}",
+                    f"{row.freq_switch_pct_u:.1f}",
+                    f"{row.migration_pct_u:.1f}",
+                ),
+                widths,
+            )
+        )
+    lines.append(_rule(widths))
+    lines.append(
+        f"mean switching: I {_mean([r.total_i for r in rows]):.1f}%, "
+        f"U {_mean([r.total_u for r in rows]):.1f}% (paper: ~20% on average)"
+    )
+    return "\n".join(lines)
+
+
+def render_table3(rows: list[Table3Row]) -> str:
+    """Table 3: application characteristics, paper vs. measured."""
+    widths = (12, 9, 11, 15, 11, 11, 13, 13)
+    lines = [
+        "Table 3: applications (paper value / measured value)",
+        _row(
+            ("app", "interact", "QoS type", "QoS target", "time (s)", "events",
+             "annot% paper", "annot% meas"),
+            widths,
+        ),
+        _rule(widths),
+    ]
+    for row in rows:
+        lines.append(
+            _row(
+                (
+                    row.app,
+                    row.interaction,
+                    row.qos_type,
+                    row.qos_target,
+                    f"{row.paper_duration_s}/{row.measured_duration_s:.0f}",
+                    f"{row.paper_events}/{row.measured_events}",
+                    f"{row.paper_annotation_pct:.1f}",
+                    f"{row.measured_annotation_pct:.1f}",
+                ),
+                widths,
+            )
+        )
+    return "\n".join(lines)

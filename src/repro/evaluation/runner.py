@@ -1,0 +1,280 @@
+"""Run one (application, governor, scenario, trace) combination.
+
+Each run builds a fresh platform + browser + page, replays the trace
+for a fixed wall-clock window (trace duration + settle), and collects
+the paper's metrics: total energy, per-event QoS violations,
+configuration residency, and switching counts.
+
+Fixed-window measurement mirrors the paper's methodology: energy is
+power integrated over the real execution time of the interaction
+session, so a governor that idles at high power keeps paying for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.browser.engine import Browser, BrowserPolicy
+from repro.core.annotations import AnnotationRegistry
+from repro.core.governors import (
+    InteractiveGovernor,
+    OndemandGovernor,
+    PerfGovernor,
+    PowersaveGovernor,
+)
+from repro.core.qos import QoSSpec, UsageScenario
+from repro.core.runtime import GreenWebRuntime
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import (
+    config_residency,
+    event_violation_pct,
+    mean_violation_pct,
+    windowed_config_residency,
+)
+from repro.hardware.dvfs import CpuConfig
+from repro.hardware.platform import odroid_xu_e
+from repro.sim.clock import s_to_us
+from repro.workloads.interactions import InteractionDriver
+from repro.workloads.registry import build_app
+
+#: Governor names accepted by :func:`run_workload`.
+GOVERNORS: tuple[str, ...] = (
+    "perf",
+    "interactive",
+    "powersave",
+    "ondemand",
+    "greenweb",
+    "ebs",
+)
+
+
+class _ActiveWindowAccountant:
+    """Integrates energy over the union of input-active windows.
+
+    The paper's micro-benchmarks report the energy of *the interaction*
+    (event dispatch until its associated frames complete), not of the
+    idle gaps between repetitions.  The accountant watches the trace
+    stream: an input's window opens at dispatch and closes at its
+    completion record; overlapping windows merge.
+    """
+
+    def __init__(self, platform) -> None:
+        self._platform = platform
+        self._open_inputs: set[int] = set()
+        self._window_start_j: float = 0.0
+        self.active_energy_j = 0.0
+        self.active_time_us = 0
+        self._window_start_us = 0
+        #: closed [start_us, end_us] active windows, in order
+        self.windows: list[tuple[int, int]] = []
+        platform.trace.subscribe(self._on_record)
+
+    def _on_record(self, record) -> None:
+        if record.category != "input":
+            return
+        meter = self._platform.meter
+        if record.name == "complete":
+            if record["uid"] in self._open_inputs:
+                self._open_inputs.discard(record["uid"])
+                if not self._open_inputs:
+                    meter.finalize(record.time_us)
+                    self.active_energy_j += meter.total_j - self._window_start_j
+                    self.active_time_us += record.time_us - self._window_start_us
+                    self.windows.append((self._window_start_us, record.time_us))
+        else:  # a dispatch record (named by its event type)
+            if not self._open_inputs:
+                meter.finalize(record.time_us)
+                self._window_start_j = meter.total_j
+                self._window_start_us = record.time_us
+            self._open_inputs.add(record["uid"])
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one run."""
+
+    app: str
+    governor: str
+    scenario: UsageScenario
+    trace_kind: str
+    duration_s: float
+    energy_j: float
+    #: energy integrated only while >= 1 input was in flight (the
+    #: paper's per-interaction micro-benchmark accounting)
+    active_energy_j: float
+    active_time_s: float
+    frames: int
+    inputs: int
+    skipped_vsyncs: int
+    #: per-event violations, trace order; None = event produced no frame
+    #: or was unannotated (excluded from means, as in the paper).
+    event_violations_pct: list[Optional[float]]
+    config_residency: dict[CpuConfig, float]
+    #: residency restricted to input-active windows (Fig. 11's view)
+    active_config_residency: dict[CpuConfig, float]
+    freq_switches: int
+    migrations: int
+    annotated_events: int
+    runtime_stats: Optional[dict] = None
+
+    @property
+    def mean_violation_pct(self) -> float:
+        return mean_violation_pct(self.event_violations_pct)
+
+    @property
+    def switch_count(self) -> int:
+        return self.freq_switches + self.migrations
+
+    def energy_vs(self, baseline: "RunResult") -> float:
+        """This run's energy as a fraction of a baseline run's."""
+        if baseline.energy_j <= 0:
+            raise EvaluationError("baseline consumed no energy")
+        return self.energy_j / baseline.energy_j
+
+    def active_energy_vs(self, baseline: "RunResult") -> float:
+        """Active-window energy relative to a baseline run's."""
+        if baseline.active_energy_j <= 0:
+            raise EvaluationError("baseline has no active-window energy")
+        return self.active_energy_j / baseline.active_energy_j
+
+
+def make_policy(
+    governor: str,
+    platform,
+    registry: AnnotationRegistry,
+    scenario: UsageScenario,
+    runtime_kwargs: Optional[dict] = None,
+) -> BrowserPolicy:
+    """Instantiate a governor policy by name."""
+    if governor == "perf":
+        return PerfGovernor(platform)
+    if governor == "interactive":
+        return InteractiveGovernor(platform)
+    if governor == "powersave":
+        return PowersaveGovernor(platform)
+    if governor == "ondemand":
+        return OndemandGovernor(platform)
+    if governor == "greenweb":
+        return GreenWebRuntime(platform, registry, scenario, **(runtime_kwargs or {}))
+    if governor == "ebs":
+        from repro.core.ebs import EbsGovernor
+
+        return EbsGovernor(platform, **(runtime_kwargs or {}))
+    raise EvaluationError(f"unknown governor {governor!r}; known: {list(GOVERNORS)}")
+
+
+def run_workload(
+    app: str,
+    governor: str,
+    scenario: UsageScenario = UsageScenario.IMPERCEPTIBLE,
+    trace_kind: str = "full",
+    seed: int = 0,
+    settle_s: float = 4.0,
+    runtime_kwargs: Optional[dict] = None,
+) -> RunResult:
+    """Run one experiment cell and return its measurements.
+
+    Args:
+        app: application name (see :data:`repro.workloads.APP_NAMES`).
+        governor: one of :data:`GOVERNORS`.
+        scenario: the usage scenario (GreenWeb's QoS target choice;
+            Perf and Interactive "behave the same independently of the
+            usage scenario", Sec. 7.1 — only their violation accounting
+            changes).
+        trace_kind: ``"micro"`` or ``"full"``.
+        seed: workload seed.
+        settle_s: wall-clock tail after the last input.
+        runtime_kwargs: extra :class:`GreenWebRuntime` arguments
+            (ablation knobs).
+    """
+    bundle = build_app(app, seed)
+    if trace_kind == "micro":
+        trace = bundle.micro_trace
+    elif trace_kind == "full":
+        trace = bundle.full_trace
+    else:
+        raise EvaluationError(f"unknown trace kind {trace_kind!r}")
+
+    platform = odroid_xu_e(record_power_intervals=False)
+    registry = AnnotationRegistry.from_stylesheet(bundle.page.stylesheet)
+    policy = make_policy(governor, platform, registry, scenario, runtime_kwargs)
+    browser = Browser(platform, bundle.page, policy=policy)
+    accountant = _ActiveWindowAccountant(platform)
+    driver = InteractionDriver(browser)
+
+    # Pre-resolve each trace event's QoS spec (annotation state is
+    # static); used for violation accounting under EVERY governor so
+    # comparisons judge identical targets.
+    ordered = trace.sorted_events()
+    specs: list[Optional[QoSSpec]] = []
+    for scripted in ordered:
+        target = (
+            bundle.page.document.get_element_by_id(scripted.target_id)
+            if scripted.target_id
+            else bundle.page.document.root
+        )
+        if target is None:
+            raise EvaluationError(
+                f"trace {trace.name!r} targets missing element #{scripted.target_id}"
+            )
+        specs.append(registry.lookup(target, scripted.event_type))
+
+    driver.schedule(trace)
+    window_us = trace.duration_us + s_to_us(settle_s)
+    platform.run_for(window_us)
+    platform.meter.finalize(platform.kernel.now_us)
+
+    records = browser.tracker.records
+    if len(records) != len(ordered):
+        raise EvaluationError(
+            f"dispatched {len(records)} inputs but trace has {len(ordered)}"
+        )
+    violations: list[Optional[float]] = []
+    for record, spec in zip(records, specs):
+        if spec is None:
+            violations.append(None)
+        else:
+            violations.append(event_violation_pct(record, spec, scenario))
+
+    residency = config_residency(
+        platform.trace, 0, platform.kernel.now_us, initial=CpuConfig("big", 1800)
+    )
+    active_residency = windowed_config_residency(
+        platform.trace, accountant.windows, initial=CpuConfig("big", 1800)
+    )
+    runtime_stats = None
+    if isinstance(policy, GreenWebRuntime):
+        stats = policy.stats
+        runtime_stats = {
+            "inputs_seen": stats.inputs_seen,
+            "unannotated_inputs": stats.unannotated_inputs,
+            "predictions": stats.predictions,
+            "profiling_frames": stats.profiling_frames,
+            "violations_fed_back": stats.violations_fed_back,
+            "boosts_up": stats.boosts_up,
+            "boosts_down": stats.boosts_down,
+            "recalibrations": stats.recalibrations,
+            "idle_drops": stats.idle_drops,
+        }
+
+    return RunResult(
+        app=app,
+        governor=governor,
+        scenario=scenario,
+        trace_kind=trace_kind,
+        duration_s=platform.kernel.now_us / 1e6,
+        energy_j=platform.meter.total_j,
+        active_energy_j=accountant.active_energy_j,
+        active_time_s=accountant.active_time_us / 1e6,
+        frames=browser.stats.frames,
+        inputs=browser.stats.inputs,
+        skipped_vsyncs=browser.stats.skipped_vsyncs,
+        event_violations_pct=violations,
+        config_residency=residency,
+        active_config_residency=active_residency,
+        freq_switches=platform.dvfs.freq_switches,
+        migrations=platform.dvfs.migrations,
+        annotated_events=sum(1 for s in specs if s is not None),
+        runtime_stats=runtime_stats,
+    )

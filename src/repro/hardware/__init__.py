@@ -1,0 +1,43 @@
+"""ACMP (big.LITTLE) mobile platform simulator.
+
+This package substitutes for the paper's ODroid XU+E board (Exynos 5410
+SoC: 4x Cortex-A15 "big" + 4x Cortex-A7 "little").  It models:
+
+* per-cluster DVFS operating points (A15: 800-1800 MHz @ 100 MHz steps,
+  A7: 350-600 MHz @ 50 MHz steps) with a voltage-frequency curve,
+* an analytical CMOS power model (dynamic ``C*V^2*f`` + leakage),
+* configuration-switching overheads (100 us frequency switch, 20 us
+  core migration, as reported in the paper's Sec. 7.1),
+* exact energy integration equivalent to the paper's 1 kHz
+  sense-resistor measurement.
+
+The entry point is :func:`~repro.hardware.platform.odroid_xu_e`, which
+builds a :class:`~repro.hardware.platform.MobilePlatform` shaped like
+the paper's testbed.
+"""
+
+from repro.hardware.core import ClusterSpec, Cluster, WorkUnit
+from repro.hardware.dvfs import DvfsController, CpuConfig
+from repro.hardware.energy import EnergyMeter
+from repro.hardware.execution import ExecutionContext, TaskHandle
+from repro.hardware.frequency import OperatingPoint, OppTable, cortex_a15_opps, cortex_a7_opps
+from repro.hardware.platform import MobilePlatform, odroid_xu_e
+from repro.hardware.power import PowerModel
+
+__all__ = [
+    "OperatingPoint",
+    "OppTable",
+    "cortex_a15_opps",
+    "cortex_a7_opps",
+    "ClusterSpec",
+    "Cluster",
+    "WorkUnit",
+    "PowerModel",
+    "ExecutionContext",
+    "TaskHandle",
+    "DvfsController",
+    "CpuConfig",
+    "EnergyMeter",
+    "MobilePlatform",
+    "odroid_xu_e",
+]

@@ -1,0 +1,134 @@
+"""DVFS actuation: frequency switches and big/little core migration.
+
+The paper reports (Sec. 7.1) a 100 us frequency-switching overhead and
+a 20 us core-migration overhead on the Exynos 5410.  The controller
+models both: during a switch, all execution contexts are paused (their
+in-flight work is frozen) and resume at the new configuration once the
+overhead elapses.
+
+The controller also counts the two kinds of switches separately, which
+is exactly the data Fig. 12 of the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import HardwareError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.platform import MobilePlatform
+
+#: Frequency-switch overhead within a cluster (paper Sec. 7.1).
+FREQ_SWITCH_OVERHEAD_US = 100
+#: Big/little migration overhead (paper Sec. 7.1).
+MIGRATION_OVERHEAD_US = 20
+
+
+@dataclass(frozen=True, order=True)
+class CpuConfig:
+    """An ACMP execution configuration: a <cluster, frequency> tuple."""
+
+    cluster: str
+    freq_mhz: int
+
+    def __str__(self) -> str:
+        return f"{self.cluster}@{self.freq_mhz}MHz"
+
+
+class DvfsController:
+    """Applies :class:`CpuConfig` requests to a platform with realistic
+    switching overheads, coalescing requests that arrive mid-switch."""
+
+    def __init__(
+        self,
+        platform: "MobilePlatform",
+        freq_switch_overhead_us: int = FREQ_SWITCH_OVERHEAD_US,
+        migration_overhead_us: int = MIGRATION_OVERHEAD_US,
+    ) -> None:
+        if freq_switch_overhead_us < 0 or migration_overhead_us < 0:
+            raise HardwareError("switching overheads must be non-negative")
+        self._platform = platform
+        self.freq_switch_overhead_us = freq_switch_overhead_us
+        self.migration_overhead_us = migration_overhead_us
+        self.freq_switches = 0
+        self.migrations = 0
+        self._pending_target: Optional[CpuConfig] = None
+        self._apply_event = None
+
+    @property
+    def in_flight(self) -> bool:
+        """True while a switch overhead window is open."""
+        return self._apply_event is not None and self._apply_event.pending
+
+    @property
+    def switch_count(self) -> int:
+        """Total configuration switches (frequency + migration)."""
+        return self.freq_switches + self.migrations
+
+    def request(self, config: CpuConfig) -> bool:
+        """Ask for a new configuration.
+
+        Returns True if a switch was initiated (or an in-flight switch
+        retargeted), False if the platform is already at ``config``.
+
+        Raises:
+            HardwareError: for an unknown cluster.
+            FrequencyError: for a frequency not in the cluster's table.
+        """
+        platform = self._platform
+        cluster = platform.cluster(config.cluster)
+        cluster.spec.opps.at(config.freq_mhz)  # validate frequency early
+
+        if self.in_flight:
+            # Coalesce: retarget the pending apply.  If the retarget makes
+            # the switch a no-op, cancel it entirely and resume.
+            if config == platform.config and self._pending_target != config:
+                self._cancel_in_flight()
+                return False
+            self._pending_target = config
+            return True
+
+        if config == platform.config:
+            return False
+
+        migrating = config.cluster != platform.active_cluster_name
+        if migrating:
+            self.migrations += 1
+            overhead = self.migration_overhead_us
+        else:
+            self.freq_switches += 1
+            overhead = self.freq_switch_overhead_us
+
+        platform.trace.emit(
+            platform.kernel.now_us,
+            "dvfs",
+            "migrate" if migrating else "freq_switch",
+            frm=str(platform.config),
+            to=str(config),
+            overhead_us=overhead,
+        )
+
+        self._pending_target = config
+        platform._pause_all_contexts()
+        self._apply_event = platform.kernel.schedule_in(
+            overhead, self._apply, label=f"dvfs->{config}"
+        )
+        return True
+
+    def _cancel_in_flight(self) -> None:
+        if self._apply_event is not None:
+            self._apply_event.cancel()
+        self._apply_event = None
+        self._pending_target = None
+        self._platform._resume_all_contexts()
+
+    def _apply(self) -> None:
+        target = self._pending_target
+        self._apply_event = None
+        self._pending_target = None
+        if target is None:  # pragma: no cover - defensive
+            raise HardwareError("DVFS apply fired with no target")
+        self._platform._apply_config(target)
+        self._platform._resume_all_contexts()

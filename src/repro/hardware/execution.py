@@ -1,0 +1,221 @@
+"""Execution contexts: serial task execution with DVFS preemption.
+
+An :class:`ExecutionContext` models one runnable software thread pinned
+to the active cluster (the browser gives one to its renderer main
+thread and one to its compositor thread).  Tasks queue FIFO and execute
+one at a time; task duration is derived from the platform's *current*
+configuration via the :class:`~repro.hardware.core.WorkUnit` model.
+
+When the platform changes configuration mid-task (a frequency switch or
+core migration), the context is paused: the running task's remaining
+work is computed by proportionally scaling both work components by the
+unexecuted fraction, and after the switching overhead elapses the task
+resumes at the new speed.  This is what makes DVFS decisions taken
+*during* a frame (the GreenWeb runtime's per-frame operation) affect
+that frame's latency, exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.hardware.core import WorkUnit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.platform import MobilePlatform
+
+CompletionCallback = Callable[["TaskHandle"], None]
+
+
+class TaskHandle:
+    """Handle for a unit of work submitted to an execution context."""
+
+    __slots__ = (
+        "label",
+        "work",
+        "remaining",
+        "on_complete",
+        "submitted_us",
+        "started_us",
+        "completed_us",
+        "_completion_event",
+    )
+
+    def __init__(
+        self,
+        work: WorkUnit,
+        on_complete: Optional[CompletionCallback],
+        label: str,
+        submitted_us: int,
+    ) -> None:
+        self.label = label
+        self.work = work
+        self.remaining = work
+        self.on_complete = on_complete
+        self.submitted_us = submitted_us
+        self.started_us: Optional[int] = None
+        self.completed_us: Optional[int] = None
+        self._completion_event = None
+
+    @property
+    def done(self) -> bool:
+        """True once the task has fully executed."""
+        return self.completed_us is not None
+
+    @property
+    def queueing_delay_us(self) -> int:
+        """Time spent waiting before first execution (0 if never run)."""
+        if self.started_us is None:
+            return 0
+        return self.started_us - self.submitted_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else ("running" if self.started_us is not None else "queued")
+        return f"<Task {self.label!r} {state}>"
+
+
+class ExecutionContext:
+    """One serially executing thread context on the platform."""
+
+    def __init__(self, platform: "MobilePlatform", name: str) -> None:
+        self._platform = platform
+        self.name = name
+        self._queue: deque[TaskHandle] = deque()
+        self._current: Optional[TaskHandle] = None
+        self._paused = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while a task is running or frozen mid-switch."""
+        return self._current is not None
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of tasks waiting behind the current one."""
+        return len(self._queue)
+
+    @property
+    def current_task(self) -> Optional[TaskHandle]:
+        return self._current
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        work: WorkUnit,
+        on_complete: Optional[CompletionCallback] = None,
+        label: str = "",
+    ) -> TaskHandle:
+        """Queue ``work``; it starts immediately if the context is idle.
+
+        Zero-work tasks complete on the next kernel tick with zero
+        duration (they still respect FIFO ordering).
+        """
+        handle = TaskHandle(work, on_complete, label, self._platform.kernel.now_us)
+        self._queue.append(handle)
+        if self._current is None and not self._paused:
+            self._start_next()
+        return handle
+
+    # ------------------------------------------------------------------
+    # Platform hooks (pause/resume around configuration switches)
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Freeze the running task, banking its remaining work.
+
+        Idempotent: pausing an already-paused context is a no-op (a new
+        DVFS switch may begin while some contexts are still frozen from
+        the previous one)."""
+        if self._paused:
+            return
+        self._paused = True
+        task = self._current
+        if task is None or task._completion_event is None:
+            return
+        event = task._completion_event
+        now = self._platform.kernel.now_us
+        started = task.started_us if task.started_us is not None else now
+        total = event.time_us - started
+        # Zero-duration tasks race the pause; they have nothing left.
+        if total > 0:
+            fraction_left = max(0.0, 1.0 - (now - started) / total)
+            task.remaining = task.remaining.scaled(fraction_left)
+        event.cancel()
+        task._completion_event = None
+
+    def resume(self) -> None:
+        """Resume (or start) execution at the platform's new config.
+
+        Idempotent: resuming a running context is a no-op."""
+        if not self._paused:
+            return
+        self._paused = False
+        if self._current is not None:
+            self._schedule_completion(self._current)
+        elif self._queue:
+            self._start_next()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _start_next(self) -> None:
+        if not self._queue:
+            return
+        task = self._queue.popleft()
+        task.started_us = self._platform.kernel.now_us
+        self._current = task
+        # Becoming busy may trigger an observer (e.g. the interactive
+        # governor's idle-exit boost) that initiates a DVFS switch and
+        # pauses this context; in that case completion is scheduled by
+        # resume() at the new configuration instead.
+        self._platform._context_became_busy(self)
+        if not self._paused:
+            self._schedule_completion(task)
+
+    def _schedule_completion(self, task: TaskHandle) -> None:
+        duration = self._platform.duration_us(task.remaining)
+        ticks = max(0, round(duration))
+        # Re-anchor started_us so pause() measures elapsed time correctly
+        # across resumes.
+        task.started_us = self._platform.kernel.now_us
+        task._completion_event = self._platform.kernel.schedule_in(
+            ticks, lambda: self._finish(task), label=f"{self.name}:{task.label}"
+        )
+
+    def _finish(self, task: TaskHandle) -> None:
+        now = self._platform.kernel.now_us
+        task.completed_us = now
+        task.remaining = WorkUnit(0.0, 0.0)
+        task._completion_event = None
+        self._current = None
+        if self._platform.record_task_spans:
+            self._platform.trace.emit(
+                now,
+                "task",
+                "span",
+                context=self.name,
+                label=task.label,
+                start_us=task.submitted_us,
+                run_start_us=task.started_us if task.started_us is not None else now,
+                duration_us=now - task.submitted_us,
+            )
+        # The completion callback runs before the next queued task
+        # starts: a task's effects (style writes, dirty bits, config
+        # decisions) must be visible to whatever executes next, exactly
+        # as straight-line code on a real thread would behave.  The
+        # callback may submit new tasks or pause the context.
+        if task.on_complete is not None:
+            task.on_complete(task)
+        if self._current is None:
+            if self._queue and not self._paused:
+                self._start_next()
+            if self._current is None:
+                self._platform._context_became_idle(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ExecutionContext {self.name} busy={self.busy} q={self.queue_depth}>"

@@ -1,0 +1,320 @@
+"""Platform assembly: clusters + contexts + power + energy + DVFS.
+
+:class:`MobilePlatform` is the hardware facade the rest of the system
+talks to.  It owns the simulation kernel, the two clusters, the set of
+execution contexts (threads), the power model, the energy meter, and
+the DVFS controller, and it keeps utilization statistics that the
+Android-style ``interactive`` governor samples.
+
+Only one cluster is active at a time (cluster migration, as on the
+Exynos 5410 in the paper's setup); the inactive cluster is power-gated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import HardwareError
+from repro.hardware.core import (
+    Cluster,
+    ClusterSpec,
+    WorkUnit,
+    big_cluster_spec,
+    little_cluster_spec,
+)
+from repro.hardware.dvfs import CpuConfig, DvfsController
+from repro.hardware.energy import EnergyMeter
+from repro.hardware.execution import ExecutionContext
+from repro.hardware.power import PowerBreakdown, PowerModel
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import TraceLog
+
+
+class MobilePlatform:
+    """A big.LITTLE mobile SoC with DVFS, power gating, and energy metering."""
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        cluster_specs: Optional[list[ClusterSpec]] = None,
+        power_model: Optional[PowerModel] = None,
+        trace: Optional[TraceLog] = None,
+        initial_config: Optional[CpuConfig] = None,
+        record_power_intervals: bool = True,
+        freq_switch_overhead_us: Optional[int] = None,
+        migration_overhead_us: Optional[int] = None,
+    ) -> None:
+        self.kernel = kernel if kernel is not None else Kernel()
+        self.trace = trace if trace is not None else TraceLog()
+        self.power_model = power_model if power_model is not None else PowerModel()
+
+        specs = cluster_specs if cluster_specs is not None else [
+            big_cluster_spec(),
+            little_cluster_spec(),
+        ]
+        if not specs:
+            raise HardwareError("platform needs at least one cluster")
+        self._clusters: dict[str, Cluster] = {}
+        for spec in specs:
+            if spec.name in self._clusters:
+                raise HardwareError(f"duplicate cluster name {spec.name!r}")
+            self._clusters[spec.name] = Cluster(spec, powered=False)
+
+        if initial_config is None:
+            first = specs[0]
+            initial_config = CpuConfig(first.name, first.opps.max.freq_mhz)
+        if initial_config.cluster not in self._clusters:
+            raise HardwareError(f"unknown cluster {initial_config.cluster!r}")
+
+        self._active_name = initial_config.cluster
+        active = self._clusters[self._active_name]
+        active.power_on()
+        active.set_frequency(initial_config.freq_mhz)
+
+        self._contexts: list[ExecutionContext] = []
+        self._busy: set[ExecutionContext] = set()
+        self._paused_depth = 0
+        self._busy_observers: list = []
+        #: opt-in: emit a "task/span" trace record for every completed
+        #: task (start, duration, context, label) — the per-thread
+        #: timeline view for chrome-trace exports.  Off by default to
+        #: keep evaluation-scale runs lean.
+        self.record_task_spans = False
+
+        # Utilization accounting (for the interactive governor).
+        self._util_last_us = self.kernel.now_us
+        self._busy_ctx_integral_us = 0.0  # sum over contexts of busy time
+        self._any_busy_integral_us = 0.0  # wall time with >=1 busy context
+
+        self.meter = EnergyMeter(
+            start_us=self.kernel.now_us, record_intervals=record_power_intervals
+        )
+        from repro.hardware.dvfs import (
+            FREQ_SWITCH_OVERHEAD_US,
+            MIGRATION_OVERHEAD_US,
+        )
+
+        self.dvfs = DvfsController(
+            self,
+            freq_switch_overhead_us=(
+                freq_switch_overhead_us
+                if freq_switch_overhead_us is not None
+                else FREQ_SWITCH_OVERHEAD_US
+            ),
+            migration_overhead_us=(
+                migration_overhead_us
+                if migration_overhead_us is not None
+                else MIGRATION_OVERHEAD_US
+            ),
+        )
+        self._notify_power_change()
+
+    # ------------------------------------------------------------------
+    # Topology and configuration
+    # ------------------------------------------------------------------
+    @property
+    def cluster_names(self) -> list[str]:
+        return list(self._clusters)
+
+    def cluster(self, name: str) -> Cluster:
+        """Look up a cluster by name."""
+        try:
+            return self._clusters[name]
+        except KeyError:
+            raise HardwareError(
+                f"unknown cluster {name!r}; have {list(self._clusters)}"
+            ) from None
+
+    @property
+    def active_cluster_name(self) -> str:
+        return self._active_name
+
+    @property
+    def active_cluster(self) -> Cluster:
+        return self._clusters[self._active_name]
+
+    @property
+    def config(self) -> CpuConfig:
+        """The current <cluster, frequency> execution configuration."""
+        active = self.active_cluster
+        return CpuConfig(active.name, active.freq_mhz)
+
+    def all_configs(self) -> list[CpuConfig]:
+        """Every <cluster, frequency> combination the platform offers,
+        ordered little-to-big then slow-to-fast (17 on the default
+        platform: 6 little + 11 big)."""
+        configs = []
+        for name in sorted(self._clusters, key=lambda n: self._clusters[n].spec.ipc_factor):
+            for freq in self._clusters[name].spec.opps.frequencies:
+                configs.append(CpuConfig(name, freq))
+        return configs
+
+    def set_config(self, config: CpuConfig) -> bool:
+        """Request a configuration change through the DVFS controller."""
+        return self.dvfs.request(config)
+
+    def _apply_config(self, config: CpuConfig) -> None:
+        """Immediately apply a configuration (called by the DVFS
+        controller after the switching overhead)."""
+        if config.cluster != self._active_name:
+            self.active_cluster.power_off()
+            self._active_name = config.cluster
+            self.active_cluster.power_on()
+        self.active_cluster.set_frequency(config.freq_mhz)
+        self.trace.emit(
+            self.kernel.now_us,
+            "config",
+            "applied",
+            cluster=config.cluster,
+            freq_mhz=config.freq_mhz,
+        )
+        self._notify_power_change()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def create_context(self, name: str) -> ExecutionContext:
+        """Create a new execution context (software thread slot)."""
+        if len(self._contexts) >= max(c.spec.core_count for c in self._clusters.values()):
+            raise HardwareError("more contexts than cores in a cluster")
+        context = ExecutionContext(self, name)
+        self._contexts.append(context)
+        if self._paused_depth > 0:
+            context._paused = True
+        return context
+
+    @property
+    def contexts(self) -> list[ExecutionContext]:
+        return list(self._contexts)
+
+    def duration_us(self, work: WorkUnit) -> float:
+        """Time for ``work`` on the active cluster at its current OPP."""
+        active = self.active_cluster
+        return active.spec.duration_us(work, active.freq_mhz)
+
+    def duration_us_at(self, work: WorkUnit, config: CpuConfig) -> float:
+        """Time for ``work`` at an arbitrary configuration (oracle view;
+        the GreenWeb runtime does *not* use this — it fits its own model
+        from profiled frame latencies)."""
+        spec = self.cluster(config.cluster).spec
+        return spec.duration_us(work, config.freq_mhz)
+
+    def _pause_all_contexts(self) -> None:
+        self._paused_depth += 1
+        if self._paused_depth == 1:
+            for context in self._contexts:
+                context.pause()
+
+    def _resume_all_contexts(self) -> None:
+        if self._paused_depth <= 0:
+            raise HardwareError("resume without matching pause")
+        self._paused_depth -= 1
+        if self._paused_depth == 0:
+            for context in self._contexts:
+                # Resuming a context can trigger observers (idle-exit
+                # boost) that start a NEW switch and re-pause the
+                # platform; stop resuming immediately in that case —
+                # the new switch's apply will resume everyone.
+                if self._paused_depth > 0:
+                    break
+                context.resume()
+
+    # ------------------------------------------------------------------
+    # Busy/power accounting
+    # ------------------------------------------------------------------
+    def add_busy_observer(self, callback) -> None:
+        """Register ``callback(busy_count, previous_count)`` to fire on
+        every busy-context-count transition (idle-exit detection for
+        the interactive governor)."""
+        self._busy_observers.append(callback)
+
+    def _context_became_busy(self, context: ExecutionContext) -> None:
+        if context not in self._busy:
+            previous = len(self._busy)
+            self._accumulate_utilization()
+            self._busy.add(context)
+            self._notify_power_change()
+            for observer in self._busy_observers:
+                observer(len(self._busy), previous)
+
+    def _context_became_idle(self, context: ExecutionContext) -> None:
+        if context in self._busy:
+            previous = len(self._busy)
+            self._accumulate_utilization()
+            self._busy.discard(context)
+            self._notify_power_change()
+            for observer in self._busy_observers:
+                observer(len(self._busy), previous)
+
+    @property
+    def busy_context_count(self) -> int:
+        return len(self._busy)
+
+    def current_power(self) -> PowerBreakdown:
+        """Instantaneous platform power for the current state."""
+        rows = []
+        for name, cluster in self._clusters.items():
+            busy = len(self._busy) if name == self._active_name else 0
+            rows.append((cluster.spec, cluster.opp, busy, cluster.powered))
+        return self.power_model.breakdown(rows)
+
+    def _notify_power_change(self) -> None:
+        self.meter.on_power_change(self.kernel.now_us, self.current_power())
+
+    def _accumulate_utilization(self) -> None:
+        now = self.kernel.now_us
+        dt = now - self._util_last_us
+        if dt > 0:
+            self._busy_ctx_integral_us += len(self._busy) * dt
+            if self._busy:
+                self._any_busy_integral_us += dt
+        self._util_last_us = now
+
+    def utilization_snapshot(self) -> tuple[float, float]:
+        """Return cumulative integrals ``(busy_context_us, any_busy_us)``
+        up to now; governors diff two snapshots to get window load."""
+        self._accumulate_utilization()
+        return (self._busy_ctx_integral_us, self._any_busy_integral_us)
+
+    # ------------------------------------------------------------------
+    # Run helpers
+    # ------------------------------------------------------------------
+    def run_for(self, duration_us: int) -> None:
+        """Advance the simulation and keep the meter integrated."""
+        self.kernel.run_for(duration_us)
+        self.meter.finalize(self.kernel.now_us)
+
+    def run_until(self, deadline_us: int) -> None:
+        self.kernel.run_until(deadline_us)
+        self.meter.finalize(self.kernel.now_us)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MobilePlatform {self.config} busy={len(self._busy)}>"
+
+
+def odroid_xu_e(
+    kernel: Optional[Kernel] = None,
+    trace: Optional[TraceLog] = None,
+    initial_config: Optional[CpuConfig] = None,
+    record_power_intervals: bool = True,
+    fast_voltage_regulators: bool = False,
+) -> MobilePlatform:
+    """Build a platform shaped like the paper's ODroid XU+E testbed
+    (Exynos 5410: 4x Cortex-A15 big + 4x Cortex-A7 little).
+
+    Args:
+        fast_voltage_regulators: model on-chip integrated voltage
+            regulators (IVRs): 5 us frequency switches instead of
+            100 us.  The paper's Fig. 12 discussion argues fast VRs
+            "increasingly prevalent in server processors" would also
+            benefit mobile CPUs; this variant lets the ablation
+            benchmarks test that claim.
+    """
+    return MobilePlatform(
+        kernel=kernel,
+        cluster_specs=[big_cluster_spec(), little_cluster_spec()],
+        trace=trace,
+        initial_config=initial_config,
+        record_power_intervals=record_power_intervals,
+        freq_switch_overhead_us=5 if fast_voltage_regulators else None,
+    )

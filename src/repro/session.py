@@ -1,0 +1,130 @@
+"""High-level session facade: the one-stop public API.
+
+A :class:`Session` wires together a platform, a page, a governor, and
+an interaction driver, so downstream users can run GreenWeb
+experiments in a few lines::
+
+    from repro import Session
+
+    session = Session.for_application("todo", governor="greenweb",
+                                      scenario="imperceptible")
+    result = session.run_full_interaction()
+    print(result.energy_j, result.mean_violation_pct)
+
+For custom pages (your own DOM, callbacks, and annotations) use
+:meth:`Session.for_page`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.browser.engine import Browser, BrowserPolicy
+from repro.browser.page import Page
+from repro.core.annotations import AnnotationRegistry
+from repro.core.qos import UsageScenario
+from repro.errors import EvaluationError
+from repro.evaluation.runner import GOVERNORS, RunResult, make_policy, run_workload
+from repro.hardware.platform import MobilePlatform, odroid_xu_e
+from repro.workloads.registry import APP_NAMES
+
+
+def _coerce_scenario(scenario: "UsageScenario | str") -> UsageScenario:
+    if isinstance(scenario, UsageScenario):
+        return scenario
+    try:
+        return UsageScenario(scenario)
+    except ValueError:
+        raise EvaluationError(
+            f"unknown scenario {scenario!r}; use 'imperceptible' or 'usable'"
+        ) from None
+
+
+class Session:
+    """A configured (application, governor, scenario) experiment."""
+
+    def __init__(
+        self,
+        app_name: str,
+        governor: str = "greenweb",
+        scenario: "UsageScenario | str" = UsageScenario.IMPERCEPTIBLE,
+        seed: int = 0,
+        runtime_kwargs: Optional[dict] = None,
+    ) -> None:
+        if governor not in GOVERNORS:
+            raise EvaluationError(f"unknown governor {governor!r}; known: {list(GOVERNORS)}")
+        self.app_name = app_name
+        self.governor = governor
+        self.scenario = _coerce_scenario(scenario)
+        self.seed = seed
+        self.runtime_kwargs = runtime_kwargs
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_application(
+        cls,
+        app_name: str,
+        governor: str = "greenweb",
+        scenario: "UsageScenario | str" = UsageScenario.IMPERCEPTIBLE,
+        seed: int = 0,
+    ) -> "Session":
+        """A session over one of the paper's twelve applications
+        (:data:`repro.workloads.APP_NAMES`)."""
+        if app_name not in APP_NAMES:
+            raise EvaluationError(
+                f"unknown application {app_name!r}; known: {list(APP_NAMES)}"
+            )
+        return cls(app_name, governor, scenario, seed)
+
+    @classmethod
+    def for_page(
+        cls,
+        page: Page,
+        governor: str = "greenweb",
+        scenario: "UsageScenario | str" = UsageScenario.IMPERCEPTIBLE,
+    ) -> tuple[MobilePlatform, Browser, BrowserPolicy]:
+        """Assemble a live (platform, browser, policy) stack for a
+        custom page; the caller drives inputs directly via
+        ``browser.dispatch_event`` or an
+        :class:`~repro.workloads.InteractionDriver`."""
+        scenario = _coerce_scenario(scenario)
+        platform = odroid_xu_e()
+        registry = AnnotationRegistry.from_stylesheet(page.stylesheet)
+        policy = make_policy(governor, platform, registry, scenario)
+        browser = Browser(platform, page, policy=policy)
+        return platform, browser, policy
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run_micro_interaction(self, settle_s: float = 4.0) -> RunResult:
+        """Run the application's micro-benchmark trace (Sec. 7.2)."""
+        return run_workload(
+            self.app_name,
+            self.governor,
+            self.scenario,
+            trace_kind="micro",
+            seed=self.seed,
+            settle_s=settle_s,
+            runtime_kwargs=self.runtime_kwargs,
+        )
+
+    def run_full_interaction(self, settle_s: float = 4.0) -> RunResult:
+        """Run the application's full interaction trace (Sec. 7.3)."""
+        return run_workload(
+            self.app_name,
+            self.governor,
+            self.scenario,
+            trace_kind="full",
+            seed=self.seed,
+            settle_s=settle_s,
+            runtime_kwargs=self.runtime_kwargs,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Session {self.app_name} governor={self.governor} "
+            f"scenario={self.scenario}>"
+        )

@@ -1,0 +1,57 @@
+"""Simulated time units and conversions.
+
+The kernel's native unit is the integer microsecond.  Integers keep the
+event heap totally ordered with no floating-point drift, which matters
+because frame batching logic compares timestamps for exact equality
+(e.g. "did this callback run before the VSync tick?").
+
+Public API layers (benchmark reports, QoS targets) speak milliseconds;
+these helpers do the conversions and centralise rounding policy: we
+always round *up* when converting durations into kernel ticks so a
+modelled duration is never silently shortened.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: One microsecond in kernel ticks (the base unit).
+MICROSECOND: int = 1
+#: One millisecond in kernel ticks.
+MILLISECOND: int = 1_000
+#: One second in kernel ticks.
+SECOND: int = 1_000_000
+
+
+def ms_to_us(milliseconds: float) -> int:
+    """Convert milliseconds to integer microseconds, rounding up.
+
+    >>> ms_to_us(16.6)
+    16600
+    >>> ms_to_us(0.0001)
+    1
+    """
+    if milliseconds < 0:
+        raise ValueError(f"negative duration: {milliseconds} ms")
+    if milliseconds == 0:
+        return 0
+    return max(1, math.ceil(milliseconds * MILLISECOND))
+
+
+def s_to_us(seconds: float) -> int:
+    """Convert seconds to integer microseconds, rounding up."""
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds} s")
+    if seconds == 0:
+        return 0
+    return max(1, math.ceil(seconds * SECOND))
+
+
+def us_to_ms(ticks: int) -> float:
+    """Convert kernel ticks (microseconds) to float milliseconds."""
+    return ticks / MILLISECOND
+
+
+def us_to_s(ticks: int) -> float:
+    """Convert kernel ticks (microseconds) to float seconds."""
+    return ticks / SECOND

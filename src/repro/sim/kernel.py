@@ -1,0 +1,244 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Kernel` owns a priority queue of timestamped callbacks and a
+monotonically advancing integer clock (microseconds).  Components
+schedule work with :meth:`Kernel.schedule_at` / :meth:`Kernel.schedule_in`
+and the driver advances the simulation with :meth:`Kernel.run_until` /
+:meth:`Kernel.run_for` / :meth:`Kernel.step`.
+
+Ordering guarantees
+-------------------
+Events at the same timestamp fire in **insertion order** (a per-kernel
+sequence number breaks ties).  This matters for the browser model: an
+input arriving "at" a VSync tick must be processed after the tick if it
+was scheduled later, exactly as a real event loop would interleave them.
+
+Cancellation
+------------
+``schedule_*`` returns a :class:`ScheduledEvent` handle; cancelling it is
+O(1) (the heap entry is tombstoned and skipped on pop).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SchedulingError
+
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time_us: int
+    seq: int
+    event: "ScheduledEvent" = field(compare=False)
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback.
+
+    Attributes:
+        time_us: absolute firing time in microseconds.
+        label: optional human-readable tag (shows up in kernel stats).
+    """
+
+    __slots__ = ("time_us", "action", "label", "_cancelled", "_fired")
+
+    def __init__(self, time_us: int, action: Action, label: str = "") -> None:
+        self.time_us = time_us
+        self.action = action
+        self.label = label
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the event's action has already run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still waiting in the queue."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling a fired event is a
+        no-op; the handle just records both flags."""
+        self._cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        tag = f" {self.label!r}" if self.label else ""
+        return f"<ScheduledEvent t={self.time_us}us{tag} {state}>"
+
+
+class Kernel:
+    """Discrete-event simulation loop with an integer-microsecond clock."""
+
+    def __init__(self, start_time_us: int = 0) -> None:
+        if start_time_us < 0:
+            raise SchedulingError("kernel start time must be non-negative")
+        self._now_us = start_time_us
+        self._heap: list[_HeapEntry] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now_us(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds (convenience)."""
+        return self._now_us / 1_000
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_fired
+
+    @property
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if e.event.pending)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time_us: int, action: Action, label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` at absolute time ``time_us``.
+
+        Raises:
+            SchedulingError: if ``time_us`` is in the past.
+        """
+        if time_us < self._now_us:
+            raise SchedulingError(
+                f"cannot schedule at {time_us}us; clock is already at {self._now_us}us"
+            )
+        event = ScheduledEvent(time_us, action, label)
+        heapq.heappush(self._heap, _HeapEntry(time_us, self._seq, event))
+        self._seq += 1
+        return event
+
+    def schedule_in(self, delay_us: int, action: Action, label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` after a relative delay (>= 0) in microseconds."""
+        if delay_us < 0:
+            raise SchedulingError(f"negative delay: {delay_us}us")
+        return self.schedule_at(self._now_us + delay_us, action, label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next live event.
+
+        Returns:
+            True if an event fired, False if the queue was empty.
+        """
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self._now_us = entry.time_us
+            event._fired = True
+            self._events_fired += 1
+            event.action()
+            return True
+        return False
+
+    def run_until(self, deadline_us: int) -> None:
+        """Run all events with timestamp <= ``deadline_us``, then advance
+        the clock to exactly ``deadline_us``.
+
+        Actions may schedule further events; newly scheduled events inside
+        the window are processed in the same call.
+        """
+        if deadline_us < self._now_us:
+            raise SchedulingError(
+                f"deadline {deadline_us}us is before current time {self._now_us}us"
+            )
+        if self._running:
+            raise SchedulingError("kernel is not reentrant: run_until called from an action")
+        self._running = True
+        try:
+            while self._heap:
+                entry = self._heap[0]
+                if entry.time_us > deadline_us:
+                    break
+                heapq.heappop(self._heap)
+                event = entry.event
+                if event.cancelled:
+                    continue
+                self._now_us = entry.time_us
+                event._fired = True
+                self._events_fired += 1
+                event.action()
+            self._now_us = deadline_us
+        finally:
+            self._running = False
+
+    def run_for(self, duration_us: int) -> None:
+        """Run the simulation forward by ``duration_us`` microseconds."""
+        self.run_until(self._now_us + duration_us)
+
+    def drain(self, max_events: int = 10_000_000) -> int:
+        """Run until the event queue is empty.
+
+        Args:
+            max_events: safety valve against runaway self-rescheduling
+                components (e.g. a VSync source that re-arms forever).
+
+        Returns:
+            The number of events fired.
+
+        Raises:
+            SchedulingError: if ``max_events`` is exceeded.
+        """
+        if self._running:
+            raise SchedulingError("kernel is not reentrant: drain called from an action")
+        fired = 0
+        self._running = True
+        try:
+            while self.stepping_allowed():
+                if not self._step_unlocked():
+                    break
+                fired += 1
+                if fired > max_events:
+                    raise SchedulingError(f"drain exceeded {max_events} events; runaway loop?")
+        finally:
+            self._running = False
+        return fired
+
+    def stepping_allowed(self) -> bool:
+        """Hook point for subclasses; default always allows stepping."""
+        return True
+
+    def _step_unlocked(self) -> bool:
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self._now_us = entry.time_us
+            event._fired = True
+            self._events_fired += 1
+            event.action()
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Kernel t={self._now_us}us pending={self.pending_count}>"

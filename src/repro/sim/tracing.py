@@ -1,0 +1,99 @@
+"""Structured trace log.
+
+Components append :class:`TraceRecord` entries (timestamp, category,
+name, payload dict).  The evaluation harness computes every paper metric
+from traces rather than from ad-hoc counters, which keeps the
+measurement path uniform across governors and makes tests able to
+assert on the exact sequence of platform decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace entry.
+
+    Attributes:
+        time_us: simulated timestamp.
+        category: coarse source, e.g. ``"dvfs"``, ``"frame"``, ``"input"``.
+        name: event name within the category, e.g. ``"migrate"``.
+        data: free-form payload (kept small; values should be scalars).
+    """
+
+    time_us: int
+    category: str
+    name: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+
+class TraceLog:
+    """Append-only in-memory trace with category filters.
+
+    A ``TraceLog`` may be disabled (``enabled=False``) to make hot loops
+    cheap in benchmarks that do not need the trace.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time_us: int, category: str, name: str, **data: Any) -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        record = TraceRecord(time_us, category, name, data)
+        self._records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Register a live listener invoked on every emitted record."""
+        self._subscribers.append(callback)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """All records, in emission order (do not mutate)."""
+        return self._records
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        since_us: int = 0,
+        until_us: Optional[int] = None,
+    ) -> list[TraceRecord]:
+        """Return records matching the given constraints."""
+        out = []
+        for record in self._records:
+            if category is not None and record.category != category:
+                continue
+            if name is not None and record.name != name:
+                continue
+            if record.time_us < since_us:
+                continue
+            if until_us is not None and record.time_us > until_us:
+                continue
+            out.append(record)
+        return out
+
+    def count(self, category: Optional[str] = None, name: Optional[str] = None) -> int:
+        """Count records matching the constraints."""
+        return len(self.filter(category=category, name=name))
+
+    def clear(self) -> None:
+        """Drop all records (subscribers stay registered)."""
+        self._records.clear()

@@ -1,0 +1,40 @@
+"""Web substrate: DOM, events, CSS, HTML, and the script model.
+
+These modules model the web-facing half of the paper's stack:
+
+* :mod:`repro.web.dom` — the Document Object Model tree that HTML
+  describes and on which events fire.
+* :mod:`repro.web.events` — the mobile event vocabulary the paper
+  targets (click, scroll, touchstart, touchend, touchmove) and the LTM
+  (Loading / Tapping / Moving) interaction model of Sec. 3.1.
+* :mod:`repro.web.css` — a CSS tokenizer/parser/object model rich
+  enough to host both ordinary style rules and GreenWeb's ``:QoS``
+  extension rules, plus CSS transitions/animations.
+* :mod:`repro.web.html` — a minimal HTML parser for building DOMs.
+* :mod:`repro.web.script` — the JavaScript-stand-in callback model:
+  callbacks describe CPU work and effects (style writes, rAF, timers)
+  that the browser engine then simulates with correct timing.
+"""
+
+from repro.web.dom import Document, Element
+from repro.web.events import (
+    Event,
+    EventType,
+    InteractionKind,
+    MOBILE_EVENT_TYPES,
+)
+from repro.web.html import parse_html
+from repro.web.script import Callback, ScriptContext, ScriptEffects
+
+__all__ = [
+    "Document",
+    "Element",
+    "Event",
+    "EventType",
+    "InteractionKind",
+    "MOBILE_EVENT_TYPES",
+    "parse_html",
+    "Callback",
+    "ScriptContext",
+    "ScriptEffects",
+]

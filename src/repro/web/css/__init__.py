@@ -1,0 +1,28 @@
+"""CSS engine: tokenizer, parser, selectors, object model, transitions.
+
+Rich enough to host the paper's GreenWeb extension — the ``:QoS``
+pseudo-class selector and ``on<event>-qos`` properties (Sec. 4) — side
+by side with the ordinary style rules (``transition``, ``animation``,
+visual properties) that the browser's animation machinery consumes.
+"""
+
+from repro.web.css.parser import parse_stylesheet
+from repro.web.css.selectors import Selector, parse_selector
+from repro.web.css.stylesheet import Declaration, StyleRule, Stylesheet
+from repro.web.css.tokenizer import CssToken, CssTokenType, tokenize
+from repro.web.css.transitions import AnimationSpec, TransitionSpec, parse_transition_value
+
+__all__ = [
+    "tokenize",
+    "CssToken",
+    "CssTokenType",
+    "parse_stylesheet",
+    "Selector",
+    "parse_selector",
+    "Stylesheet",
+    "StyleRule",
+    "Declaration",
+    "TransitionSpec",
+    "AnimationSpec",
+    "parse_transition_value",
+]

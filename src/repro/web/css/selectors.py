@@ -1,0 +1,446 @@
+"""CSS selector parsing, matching, and specificity.
+
+Supports the selector forms GreenWeb's examples use (paper Sec. 4.1)
+and the wider vocabulary real stylesheets rely on: type selectors
+(``div``), id selectors (``#intro``), class selectors (``.nav``), the
+universal selector (``*``), attribute selectors (``[role]``,
+``[role=nav]``, ``[href^=...]``, ``[href$=...]``, ``[title*=...]``,
+``[class~=...]``), compound combinations (``div#intro.fancy``),
+pseudo-classes — notably the new ``:QoS`` pseudo-class GreenWeb
+defines — the ``:not()`` functional pseudo-class, and all four
+combinators (descendant, ``>`` child, ``+`` adjacent sibling,
+``~`` general sibling).
+
+Specificity follows CSS selectors level 3 (a=id count, b=class +
+attribute + pseudo count, c=type count); ``:not()`` contributes its
+argument's specificity but nothing for itself, and the ``:QoS``
+qualifier counts like any pseudo-class, which keeps cascade resolution
+between multiple GreenWeb rules well-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SelectorError
+from repro.web.css.tokenizer import CssToken, CssTokenType, tokenize
+from repro.web.dom import Element
+
+#: The GreenWeb QoS pseudo-class (case-insensitive per CSS convention).
+QOS_PSEUDO_CLASS = "qos"
+
+
+@dataclass(frozen=True)
+class AttributeSelector:
+    """One ``[name <op> value]`` attribute test.
+
+    Operators: ``""`` (presence), ``=`` (exact), ``^=`` (prefix),
+    ``$=`` (suffix), ``*=`` (substring), ``~=`` (whitespace-list word).
+    """
+
+    name: str
+    op: str = ""
+    value: str = ""
+
+    def matches(self, element: Element) -> bool:
+        # id and class attributes resolve against the element's parsed
+        # fields, everything else against the attribute map.
+        if self.name == "id":
+            actual: "str | None" = element.id or None
+        elif self.name == "class":
+            actual = " ".join(sorted(element.classes)) if element.classes else None
+        else:
+            actual = element.attributes.get(self.name)
+        if actual is None:
+            return False
+        if self.op == "":
+            return True
+        if self.op == "=":
+            return actual == self.value
+        if self.op == "^=":
+            return bool(self.value) and actual.startswith(self.value)
+        if self.op == "$=":
+            return bool(self.value) and actual.endswith(self.value)
+        if self.op == "*=":
+            return bool(self.value) and self.value in actual
+        if self.op == "~=":
+            return self.value in actual.split()
+        raise SelectorError(f"unknown attribute operator {self.op!r}")
+
+    def __str__(self) -> str:
+        if self.op == "":
+            return f"[{self.name}]"
+        return f"[{self.name}{self.op}{self.value!r}]"
+
+
+@dataclass(frozen=True)
+class CompoundSelector:
+    """A compound selector: everything between combinators.
+
+    e.g. ``div#intro.fancy:QoS`` -> tag="div", id="intro",
+    classes={"fancy"}, pseudo_classes=("qos",).
+    """
+
+    tag: str = ""  # "" means any ("*" or absent)
+    element_id: str = ""
+    classes: frozenset[str] = frozenset()
+    pseudo_classes: tuple[str, ...] = ()
+    attributes: tuple[AttributeSelector, ...] = ()
+    negations: tuple["CompoundSelector", ...] = ()
+
+    def matches(self, element: Element) -> bool:
+        """Structural match against one element (pseudo-classes other
+        than ``:QoS`` are treated as always-matching qualifiers since
+        the reproduction has no hover/focus state)."""
+        if self.tag and element.tag != self.tag:
+            return False
+        if self.element_id and element.id != self.element_id:
+            return False
+        if not self.classes.issubset(element.classes):
+            return False
+        if any(not attribute.matches(element) for attribute in self.attributes):
+            return False
+        if any(negated.matches(element) for negated in self.negations):
+            return False
+        return True
+
+    @property
+    def has_qos(self) -> bool:
+        """True if the ``:QoS`` qualifier is present."""
+        return QOS_PSEUDO_CLASS in self.pseudo_classes
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.tag
+            or self.element_id
+            or self.classes
+            or self.pseudo_classes
+            or self.attributes
+            or self.negations
+        )
+
+    def own_specificity(self) -> tuple[int, int, int]:
+        """(ids, classes+attrs+pseudos, types) for this compound,
+        including :not() arguments (per CSS Selectors 3)."""
+        ids = 1 if self.element_id else 0
+        classes = len(self.classes) + len(self.pseudo_classes) + len(self.attributes)
+        types = 1 if self.tag else 0
+        for negated in self.negations:
+            n_ids, n_classes, n_types = negated.own_specificity()
+            ids += n_ids
+            classes += n_classes
+            types += n_types
+        return (ids, classes, types)
+
+    def __str__(self) -> str:
+        parts = [self.tag or ""]
+        if self.element_id:
+            parts.append(f"#{self.element_id}")
+        parts.extend(f".{c}" for c in sorted(self.classes))
+        parts.extend(str(a) for a in self.attributes)
+        parts.extend(f":not({n})" for n in self.negations)
+        parts.extend(
+            f":QoS" if p == QOS_PSEUDO_CLASS else f":{p}" for p in self.pseudo_classes
+        )
+        text = "".join(parts)
+        return text or "*"
+
+
+@dataclass(frozen=True)
+class Selector:
+    """A complex selector: compounds joined by combinators.
+
+    ``combinators[i]`` joins ``compounds[i]`` to ``compounds[i+1]`` and
+    is ``" "`` (descendant), ``">"`` (child), ``"+"`` (adjacent
+    sibling) or ``"~"`` (general sibling).
+    """
+
+    compounds: tuple[CompoundSelector, ...]
+    combinators: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.compounds:
+            raise SelectorError("selector must have at least one compound")
+        if len(self.combinators) != len(self.compounds) - 1:
+            raise SelectorError("combinator/compound count mismatch")
+
+    @property
+    def key_compound(self) -> CompoundSelector:
+        """The rightmost compound — the one naming the subject element."""
+        return self.compounds[-1]
+
+    @property
+    def has_qos(self) -> bool:
+        """True if the *subject* carries the ``:QoS`` qualifier, which is
+        what marks a rule as a GreenWeb rule (paper Sec. 4.1)."""
+        return self.key_compound.has_qos
+
+    def matches(self, element: Element) -> bool:
+        """Match ``element`` against the full selector (right to left)."""
+        if not self.key_compound.matches(element):
+            return False
+        return self._match_ancestry(element, len(self.compounds) - 2)
+
+    def _match_ancestry(self, element: Element, index: int) -> bool:
+        if index < 0:
+            return True
+        combinator = self.combinators[index]
+        compound = self.compounds[index]
+        if combinator == ">":
+            parent = element.parent
+            if parent is None or not compound.matches(parent):
+                return False
+            return self._match_ancestry(parent, index - 1)
+        if combinator == "+":
+            sibling = _previous_sibling(element)
+            if sibling is None or not compound.matches(sibling):
+                return False
+            return self._match_ancestry(sibling, index - 1)
+        if combinator == "~":
+            for sibling in _preceding_siblings(element):
+                if compound.matches(sibling) and self._match_ancestry(sibling, index - 1):
+                    return True
+            return False
+        # Descendant: try every ancestor.
+        for ancestor in element.ancestors():
+            if compound.matches(ancestor) and self._match_ancestry(ancestor, index - 1):
+                return True
+        return False
+
+    def specificity(self) -> tuple[int, int, int]:
+        """CSS specificity (ids, classes+attrs+pseudos, types)."""
+        ids = classes = types = 0
+        for compound in self.compounds:
+            c_ids, c_classes, c_types = compound.own_specificity()
+            ids += c_ids
+            classes += c_classes
+            types += c_types
+        return (ids, classes, types)
+
+    def __str__(self) -> str:
+        parts = [str(self.compounds[0])]
+        for combinator, compound in zip(self.combinators, self.compounds[1:]):
+            parts.append(" " if combinator == " " else f" {combinator} ")
+            parts.append(str(compound))
+        return "".join(parts)
+
+
+def parse_selector(text: str) -> Selector:
+    """Parse a single selector string (no comma-separated lists here;
+    the rule parser splits those first)."""
+    tokens = tokenize(text, keep_whitespace=True)
+    selector, index = _parse_selector_tokens(tokens, 0)
+    if tokens[index].type is not CssTokenType.EOF:
+        raise SelectorError(f"trailing junk in selector {text!r}")
+    return selector
+
+
+def parse_selector_from_tokens(tokens: list[CssToken], start: int) -> tuple[Selector, int]:
+    """Parse one selector from a token stream (used by the rule parser);
+    stops at a comma, ``{`` or EOF and returns (selector, next_index)."""
+    return _parse_selector_tokens(tokens, start)
+
+
+_STOP_TYPES = {CssTokenType.COMMA, CssTokenType.LBRACE, CssTokenType.EOF}
+_COMBINATOR_TYPES = {CssTokenType.GREATER, CssTokenType.PLUS, CssTokenType.TILDE}
+
+
+def _parse_selector_tokens(tokens: list[CssToken], start: int) -> tuple[Selector, int]:
+    compounds: list[CompoundSelector] = []
+    combinators: list[str] = []
+    index = start
+    pending_combinator: Optional[str] = None
+
+    # skip leading whitespace
+    while tokens[index].type is CssTokenType.WHITESPACE:
+        index += 1
+
+    while tokens[index].type not in _STOP_TYPES:
+        token = tokens[index]
+        if token.type is CssTokenType.WHITESPACE:
+            next_index = index + 1
+            while tokens[next_index].type is CssTokenType.WHITESPACE:
+                next_index += 1
+            if tokens[next_index].type in _STOP_TYPES:
+                index = next_index
+                break
+            if tokens[next_index].type in _COMBINATOR_TYPES:
+                index = next_index
+                continue
+            if pending_combinator is None:
+                pending_combinator = " "
+            index = next_index
+            continue
+        if token.type in _COMBINATOR_TYPES:
+            pending_combinator = token.value
+            index += 1
+            while tokens[index].type is CssTokenType.WHITESPACE:
+                index += 1
+            continue
+
+        compound, index = _parse_compound(tokens, index)
+        if compounds:
+            combinators.append(pending_combinator or " ")
+        elif pending_combinator is not None:
+            raise SelectorError("selector cannot start with a combinator")
+        pending_combinator = None
+        compounds.append(compound)
+
+    if not compounds:
+        raise SelectorError("empty selector")
+    if pending_combinator in (">", "+", "~"):
+        raise SelectorError(f"dangling {pending_combinator!r} combinator")
+    return Selector(tuple(compounds), tuple(combinators)), index
+
+
+def _parse_compound(tokens: list[CssToken], index: int) -> tuple[CompoundSelector, int]:
+    tag = ""
+    element_id = ""
+    classes: set[str] = set()
+    pseudos: list[str] = []
+    attributes: list[AttributeSelector] = []
+    negations: list[CompoundSelector] = []
+    saw_anything = False
+
+    while True:
+        token = tokens[index]
+        if token.type is CssTokenType.IDENT and not saw_anything:
+            tag = token.value.lower()
+            index += 1
+        elif token.type is CssTokenType.STAR and not saw_anything:
+            tag = ""
+            index += 1
+        elif token.type is CssTokenType.HASH:
+            if element_id:
+                raise SelectorError("multiple id selectors in one compound")
+            element_id = token.value
+            index += 1
+        elif token.type is CssTokenType.DOT:
+            nxt = tokens[index + 1]
+            if nxt.type is not CssTokenType.IDENT:
+                raise SelectorError(f"expected class name after '.' at {token.line}:{token.column}")
+            classes.add(nxt.value)
+            index += 2
+        elif token.type is CssTokenType.LBRACKET:
+            attribute, index = _parse_attribute(tokens, index)
+            attributes.append(attribute)
+        elif token.type is CssTokenType.COLON:
+            nxt = tokens[index + 1]
+            if nxt.type is not CssTokenType.IDENT:
+                raise SelectorError(
+                    f"expected pseudo-class name after ':' at {token.line}:{token.column}"
+                )
+            name = nxt.value.lower()
+            if name == "not" and tokens[index + 2].type is CssTokenType.LPAREN:
+                inner, index = _parse_compound(tokens, index + 3)
+                if tokens[index].type is not CssTokenType.RPAREN:
+                    raise SelectorError(
+                        f"unclosed :not() at {token.line}:{token.column}"
+                    )
+                index += 1
+                negations.append(inner)
+            else:
+                pseudos.append(name)
+                index += 2
+        else:
+            break
+        saw_anything = True
+
+    if not saw_anything:
+        raise SelectorError(
+            f"expected selector at {tokens[index].line}:{tokens[index].column}, "
+            f"got {tokens[index].value!r}"
+        )
+    return (
+        CompoundSelector(
+            tag,
+            element_id,
+            frozenset(classes),
+            tuple(pseudos),
+            tuple(attributes),
+            tuple(negations),
+        ),
+        index,
+    )
+
+
+def _parse_attribute(tokens: list[CssToken], index: int) -> tuple[AttributeSelector, int]:
+    """Parse ``[name]`` / ``[name=value]`` / ``[name^=value]`` etc.,
+    starting at the ``[`` token."""
+    open_token = tokens[index]
+    index += 1  # past '['
+    while tokens[index].type is CssTokenType.WHITESPACE:
+        index += 1
+    name_token = tokens[index]
+    if name_token.type is not CssTokenType.IDENT:
+        raise SelectorError(
+            f"expected attribute name at {open_token.line}:{open_token.column}"
+        )
+    name = name_token.value.lower()
+    index += 1
+    while tokens[index].type is CssTokenType.WHITESPACE:
+        index += 1
+
+    op = ""
+    if tokens[index].type in (
+        CssTokenType.CARET,
+        CssTokenType.DOLLAR,
+        CssTokenType.STAR,
+        CssTokenType.TILDE,
+    ):
+        op = tokens[index].value
+        index += 1
+        if tokens[index].type is not CssTokenType.EQUALS:
+            raise SelectorError(
+                f"expected '=' after {op!r} in attribute selector at "
+                f"{open_token.line}:{open_token.column}"
+            )
+        op += "="
+        index += 1
+    elif tokens[index].type is CssTokenType.EQUALS:
+        op = "="
+        index += 1
+
+    value = ""
+    if op:
+        while tokens[index].type is CssTokenType.WHITESPACE:
+            index += 1
+        value_token = tokens[index]
+        if value_token.type in (
+            CssTokenType.IDENT,
+            CssTokenType.STRING,
+            CssTokenType.NUMBER,
+            CssTokenType.DIMENSION,
+        ):
+            value = value_token.value
+            index += 1
+        else:
+            raise SelectorError(
+                f"expected attribute value at {value_token.line}:{value_token.column}"
+            )
+    while tokens[index].type is CssTokenType.WHITESPACE:
+        index += 1
+    if tokens[index].type is not CssTokenType.RBRACKET:
+        raise SelectorError(
+            f"unclosed attribute selector at {open_token.line}:{open_token.column}"
+        )
+    return AttributeSelector(name, op, value), index + 1
+
+
+def _previous_sibling(element: Element) -> "Element | None":
+    parent = element.parent
+    if parent is None:
+        return None
+    position = parent.children.index(element)
+    return parent.children[position - 1] if position > 0 else None
+
+
+def _preceding_siblings(element: Element):
+    parent = element.parent
+    if parent is None:
+        return
+    position = parent.children.index(element)
+    for sibling in reversed(parent.children[:position]):
+        yield sibling

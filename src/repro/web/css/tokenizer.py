@@ -1,0 +1,256 @@
+"""CSS tokenizer.
+
+A compact tokenizer covering the CSS subset the reproduction needs:
+identifiers, hashes (``#intro``), class dots, numbers and dimensions
+(``2s``, ``100px``, ``16.6ms``), strings, punctuation, comments, and
+whitespace.  Positions (line, column) are tracked for error messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CssSyntaxError
+
+
+class CssTokenType(enum.Enum):
+    IDENT = "ident"  # e.g. div, width, continuous
+    HASH = "hash"  # #intro
+    NUMBER = "number"  # 100, 16.6
+    DIMENSION = "dimension"  # 2s, 100px, 33.3ms
+    PERCENTAGE = "percentage"  # 50%
+    STRING = "string"  # "..." or '...'
+    COLON = ":"
+    SEMICOLON = ";"
+    COMMA = ","
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    DOT = "."
+    GREATER = ">"
+    STAR = "*"
+    LBRACKET = "["
+    RBRACKET = "]"
+    EQUALS = "="
+    PLUS = "+"
+    TILDE = "~"
+    CARET = "^"
+    DOLLAR = "$"
+    ATKEYWORD = "@"
+    WHITESPACE = "ws"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class CssToken:
+    """One token with its source position (1-based line/column)."""
+
+    type: CssTokenType
+    value: str
+    line: int
+    column: int
+    #: numeric value for NUMBER/DIMENSION/PERCENTAGE tokens
+    numeric: float = 0.0
+    #: unit for DIMENSION tokens (lowercased, e.g. "s", "ms", "px")
+    unit: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.type.name} {self.value!r} @{self.line}:{self.column}>"
+
+
+_PUNCT = {
+    ":": CssTokenType.COLON,
+    ";": CssTokenType.SEMICOLON,
+    ",": CssTokenType.COMMA,
+    "{": CssTokenType.LBRACE,
+    "}": CssTokenType.RBRACE,
+    "(": CssTokenType.LPAREN,
+    ")": CssTokenType.RPAREN,
+    ".": CssTokenType.DOT,
+    ">": CssTokenType.GREATER,
+    "*": CssTokenType.STAR,
+    "[": CssTokenType.LBRACKET,
+    "]": CssTokenType.RBRACKET,
+    "=": CssTokenType.EQUALS,
+    "+": CssTokenType.PLUS,
+    "~": CssTokenType.TILDE,
+    "^": CssTokenType.CARET,
+    "$": CssTokenType.DOLLAR,
+}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_" or ch == "-"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_-"
+
+
+class _Cursor:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+
+def tokenize(text: str, keep_whitespace: bool = False) -> list[CssToken]:
+    """Tokenize ``text`` into a list ending with an EOF token.
+
+    Args:
+        keep_whitespace: if True, whitespace runs are emitted as single
+            WHITESPACE tokens (selector parsing needs them to see
+            descendant combinators); otherwise they are dropped.
+
+    Raises:
+        CssSyntaxError: on unterminated strings/comments or stray bytes.
+    """
+    cursor = _Cursor(text)
+    tokens: list[CssToken] = []
+
+    while not cursor.exhausted:
+        line, column = cursor.line, cursor.column
+        ch = cursor.peek()
+
+        # Comments
+        if ch == "/" and cursor.peek(1) == "*":
+            cursor.advance()
+            cursor.advance()
+            closed = False
+            while not cursor.exhausted:
+                if cursor.peek() == "*" and cursor.peek(1) == "/":
+                    cursor.advance()
+                    cursor.advance()
+                    closed = True
+                    break
+                cursor.advance()
+            if not closed:
+                raise CssSyntaxError("unterminated comment", line, column)
+            continue
+
+        # Whitespace
+        if ch.isspace():
+            while not cursor.exhausted and cursor.peek().isspace():
+                cursor.advance()
+            if keep_whitespace:
+                tokens.append(CssToken(CssTokenType.WHITESPACE, " ", line, column))
+            continue
+
+        # Strings
+        if ch in "\"'":
+            quote = cursor.advance()
+            chars = []
+            while True:
+                if cursor.exhausted or cursor.peek() == "\n":
+                    raise CssSyntaxError("unterminated string", line, column)
+                nxt = cursor.advance()
+                if nxt == quote:
+                    break
+                if nxt == "\\" and not cursor.exhausted:
+                    nxt = cursor.advance()
+                chars.append(nxt)
+            tokens.append(CssToken(CssTokenType.STRING, "".join(chars), line, column))
+            continue
+
+        # At-keywords (@media, @keyframes, ...)
+        if ch == "@":
+            cursor.advance()
+            name = _consume_ident(cursor)
+            if not name:
+                raise CssSyntaxError("expected identifier after '@'", line, column)
+            tokens.append(CssToken(CssTokenType.ATKEYWORD, name.lower(), line, column))
+            continue
+
+        # Hash (#id)
+        if ch == "#":
+            cursor.advance()
+            name = _consume_ident(cursor)
+            if not name:
+                raise CssSyntaxError("expected identifier after '#'", line, column)
+            tokens.append(CssToken(CssTokenType.HASH, name, line, column))
+            continue
+
+        # Numbers / dimensions (also .5 style and leading +/-)
+        if ch.isdigit() or (
+            ch in "+-." and (cursor.peek(1).isdigit() or (ch != "." and cursor.peek(1) == "."))
+        ):
+            token = _consume_numeric(cursor, line, column)
+            tokens.append(token)
+            continue
+
+        # Identifiers (must not start with "--digit" etc.; simple rule)
+        if _is_ident_start(ch) and not (ch == "-" and not _is_ident_start(cursor.peek(1))):
+            name = _consume_ident(cursor)
+            tokens.append(CssToken(CssTokenType.IDENT, name, line, column))
+            continue
+
+        # Punctuation
+        if ch in _PUNCT:
+            cursor.advance()
+            tokens.append(CssToken(_PUNCT[ch], ch, line, column))
+            continue
+
+        raise CssSyntaxError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(CssToken(CssTokenType.EOF, "", cursor.line, cursor.column))
+    return tokens
+
+
+def _consume_ident(cursor: _Cursor) -> str:
+    chars = []
+    while not cursor.exhausted and _is_ident_char(cursor.peek()):
+        chars.append(cursor.advance())
+    return "".join(chars)
+
+
+def _consume_numeric(cursor: _Cursor, line: int, column: int) -> CssToken:
+    chars = []
+    if cursor.peek() in "+-":
+        chars.append(cursor.advance())
+    while not cursor.exhausted and (cursor.peek().isdigit() or cursor.peek() == "."):
+        if cursor.peek() == "." and "." in chars:
+            break
+        chars.append(cursor.advance())
+    literal = "".join(chars)
+    try:
+        numeric = float(literal)
+    except ValueError:
+        raise CssSyntaxError(f"malformed number {literal!r}", line, column) from None
+
+    if cursor.peek() == "%":
+        cursor.advance()
+        return CssToken(
+            CssTokenType.PERCENTAGE, literal + "%", line, column, numeric=numeric
+        )
+    if _is_ident_start(cursor.peek()):
+        unit = _consume_ident(cursor)
+        return CssToken(
+            CssTokenType.DIMENSION,
+            literal + unit,
+            line,
+            column,
+            numeric=numeric,
+            unit=unit.lower(),
+        )
+    return CssToken(CssTokenType.NUMBER, literal, line, column, numeric=numeric)

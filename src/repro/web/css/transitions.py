@@ -1,0 +1,183 @@
+"""CSS transitions and animations (paper Sec. 4.2's first example).
+
+A CSS *transition* declares that changes to a property animate over a
+duration (``transition: width 2s;``): when a script later writes that
+property, the browser generates a continuous frame sequence for the
+duration.  A CSS *animation* (``animation: slidein 3s;``) runs a named
+keyframe animation.  Either way the observable behaviour that matters
+to GreenWeb is "this style change produces N frames over D seconds" —
+the browser's animation scheduler (:mod:`repro.browser.pipeline`) turns
+these specs into per-VSync dirty frames, and AutoGreen detects them via
+``transitionend`` / ``animationend`` (paper Sec. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CssSyntaxError
+from repro.web.css.stylesheet import Stylesheet
+from repro.web.css.tokenizer import CssToken, CssTokenType, tokenize
+from repro.web.dom import Element
+
+
+def _duration_to_ms(token: CssToken) -> float:
+    if token.type is CssTokenType.NUMBER and token.numeric == 0:
+        return 0.0
+    if token.type is not CssTokenType.DIMENSION:
+        raise CssSyntaxError(
+            f"expected a time value, got {token.value!r}", token.line, token.column
+        )
+    if token.unit == "s":
+        return token.numeric * 1_000
+    if token.unit == "ms":
+        return token.numeric
+    raise CssSyntaxError(
+        f"unsupported time unit {token.unit!r} in {token.value!r}", token.line, token.column
+    )
+
+
+@dataclass(frozen=True)
+class TransitionSpec:
+    """A parsed ``transition`` declaration for one property.
+
+    Attributes:
+        property: the transitioned property name, or ``"all"``.
+        duration_ms: transition duration.
+        delay_ms: delay before the transition starts.
+    """
+
+    property: str
+    duration_ms: float
+    delay_ms: float = 0.0
+
+    def applies_to(self, prop: str) -> bool:
+        return self.property == "all" or self.property == prop.lower()
+
+
+@dataclass(frozen=True)
+class AnimationSpec:
+    """A parsed ``animation`` declaration.
+
+    Attributes:
+        name: keyframes name (uninterpreted — the reproduction does not
+            model keyframe contents, only frame generation).
+        duration_ms: duration of one iteration.
+        iterations: iteration count (>= 1; ``infinite`` is capped by the
+            browser's animation scheduler).
+    """
+
+    name: str
+    duration_ms: float
+    iterations: float = 1.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.duration_ms * self.iterations
+
+
+def parse_transition_value(tokens: tuple[CssToken, ...]) -> list[TransitionSpec]:
+    """Parse a ``transition`` property value's tokens.
+
+    Supports comma-separated lists of ``<property> <duration> [<delay>]``
+    (e.g. ``width 2s, opacity 300ms 100ms``).
+    """
+    groups = _split_on_commas(tokens)
+    specs: list[TransitionSpec] = []
+    for group in groups:
+        if not group:
+            continue
+        prop = "all"
+        times: list[float] = []
+        for token in group:
+            if token.type is CssTokenType.IDENT and not times:
+                if token.value.lower() in ("ease", "linear", "ease-in", "ease-out", "ease-in-out"):
+                    continue
+                prop = token.value.lower()
+            elif token.type in (CssTokenType.DIMENSION, CssTokenType.NUMBER):
+                times.append(_duration_to_ms(token))
+            elif token.type is CssTokenType.IDENT:
+                continue  # timing function after duration
+            else:
+                raise CssSyntaxError(
+                    f"unexpected {token.value!r} in transition value", token.line, token.column
+                )
+        if not times:
+            raise CssSyntaxError("transition needs a duration")
+        specs.append(
+            TransitionSpec(
+                property=prop,
+                duration_ms=times[0],
+                delay_ms=times[1] if len(times) > 1 else 0.0,
+            )
+        )
+    return specs
+
+
+def parse_animation_value(tokens: tuple[CssToken, ...]) -> list[AnimationSpec]:
+    """Parse an ``animation`` property value: ``<name> <duration>
+    [<iterations>|infinite]`` per comma-separated group."""
+    groups = _split_on_commas(tokens)
+    specs: list[AnimationSpec] = []
+    for group in groups:
+        if not group:
+            continue
+        name = ""
+        duration: Optional[float] = None
+        iterations = 1.0
+        for token in group:
+            if token.type is CssTokenType.IDENT:
+                if token.value.lower() == "infinite":
+                    iterations = float("inf")
+                elif not name:
+                    name = token.value
+            elif token.type is CssTokenType.DIMENSION:
+                duration = _duration_to_ms(token)
+            elif token.type is CssTokenType.NUMBER:
+                iterations = token.numeric
+        if not name:
+            raise CssSyntaxError("animation needs a keyframes name")
+        if duration is None:
+            raise CssSyntaxError(f"animation {name!r} needs a duration")
+        specs.append(AnimationSpec(name=name, duration_ms=duration, iterations=iterations))
+    return specs
+
+
+def _split_on_commas(tokens: tuple[CssToken, ...]) -> list[list[CssToken]]:
+    groups: list[list[CssToken]] = [[]]
+    for token in tokens:
+        if token.type is CssTokenType.COMMA:
+            groups.append([])
+        else:
+            groups[-1].append(token)
+    return groups
+
+
+def transition_for(
+    stylesheet: Stylesheet, element: Element, prop: str
+) -> Optional[TransitionSpec]:
+    """Resolve the transition spec (if any) covering writes to ``prop``
+    on ``element`` under the cascade."""
+    declaration = stylesheet.resolve(element, "transition")
+    if declaration is None:
+        return None
+    tokens = declaration.tokens or tuple(
+        t for t in tokenize(declaration.value) if t.type is not CssTokenType.EOF
+    )
+    for spec in parse_transition_value(tokens):
+        if spec.applies_to(prop) and spec.duration_ms > 0:
+            return spec
+    return None
+
+
+def animation_for(stylesheet: Stylesheet, element: Element) -> Optional[AnimationSpec]:
+    """Resolve the (first) CSS animation applying to ``element``."""
+    declaration = stylesheet.resolve(element, "animation")
+    if declaration is None:
+        return None
+    tokens = declaration.tokens or tuple(
+        t for t in tokenize(declaration.value) if t.type is not CssTokenType.EOF
+    )
+    specs = parse_animation_value(tokens)
+    return specs[0] if specs else None

@@ -1,0 +1,201 @@
+"""Document Object Model.
+
+A deliberately small DOM: elements have a tag, an optional id, a class
+set, attributes, children, and per-event listener lists.  That is all
+HTML contributes to the paper's system — GreenWeb selects elements via
+CSS selectors and attaches QoS metadata to (element, event) pairs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+from repro.errors import DomError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.web.script import Callback
+
+
+class Element:
+    """One DOM element."""
+
+    def __init__(
+        self,
+        tag: str,
+        element_id: str = "",
+        classes: Optional[set[str]] = None,
+        attributes: Optional[dict[str, str]] = None,
+    ) -> None:
+        if not tag or not tag.replace("-", "").isalnum():
+            raise DomError(f"invalid tag name: {tag!r}")
+        self.tag = tag.lower()
+        self.id = element_id
+        self.classes: set[str] = set(classes) if classes else set()
+        self.attributes: dict[str, str] = dict(attributes) if attributes else {}
+        self.parent: Optional[Element] = None
+        self.children: list[Element] = []
+        #: Inline style properties (a plain property->value map).
+        self.style: dict[str, str] = {}
+        self._listeners: dict[str, list["Callback"]] = {}
+        self._capture_listeners: dict[str, list["Callback"]] = {}
+        self._document: Optional["Document"] = None
+
+    # ------------------------------------------------------------------
+    # Tree structure
+    # ------------------------------------------------------------------
+    def append_child(self, child: "Element") -> "Element":
+        """Attach ``child`` as the last child; returns the child."""
+        if child is self or child in self.ancestors():
+            raise DomError("cannot append an element into itself or its ancestor chain")
+        if child.parent is not None:
+            child.parent.children.remove(child)
+        child.parent = self
+        self.children.append(child)
+        child._adopt(self._document)
+        return child
+
+    def remove_child(self, child: "Element") -> None:
+        """Detach ``child`` from this element."""
+        if child.parent is not self:
+            raise DomError(f"{child!r} is not a child of {self!r}")
+        self.children.remove(child)
+        child.parent = None
+        child._adopt(None)
+
+    def _adopt(self, document: Optional["Document"]) -> None:
+        self._document = document
+        if document is not None:
+            document._index(self)
+        for child in self.children:
+            child._adopt(document)
+
+    def ancestors(self) -> Iterator["Element"]:
+        """Yield ancestors from parent to root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def descendants(self) -> Iterator["Element"]:
+        """Yield all descendants in document (pre-)order."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    @property
+    def document(self) -> Optional["Document"]:
+        return self._document
+
+    # ------------------------------------------------------------------
+    # Event listeners
+    # ------------------------------------------------------------------
+    def add_event_listener(
+        self, event_type: str, callback: "Callback", capture: bool = False
+    ) -> None:
+        """Register a callback for ``event_type`` on this element.
+
+        ``capture=True`` registers for the capture phase: the callback
+        runs while the event travels root-to-target, *before* any
+        target/bubble listener (the DOM's ``addEventListener``
+        ``useCapture`` flag).
+        """
+        table = self._capture_listeners if capture else self._listeners
+        table.setdefault(event_type, []).append(callback)
+
+    def remove_event_listener(
+        self, event_type: str, callback: "Callback", capture: bool = False
+    ) -> None:
+        table = self._capture_listeners if capture else self._listeners
+        listeners = table.get(event_type, [])
+        if callback not in listeners:
+            raise DomError(f"callback not registered for {event_type!r}")
+        listeners.remove(callback)
+
+    def listeners(self, event_type: str, capture: bool = False) -> list["Callback"]:
+        """Callbacks registered on this element for ``event_type``."""
+        table = self._capture_listeners if capture else self._listeners
+        return list(table.get(event_type, []))
+
+    @property
+    def listened_event_types(self) -> list[str]:
+        """Event types that have at least one listener here (either
+        phase)."""
+        names = [name for name, cbs in self._listeners.items() if cbs]
+        names.extend(
+            name for name, cbs in self._capture_listeners.items()
+            if cbs and name not in names
+        )
+        return names
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def matches(self, selector: str) -> bool:
+        """True if this element matches the CSS ``selector`` string."""
+        from repro.web.css.selectors import parse_selector
+
+        return parse_selector(selector).matches(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ident = f"#{self.id}" if self.id else ""
+        classes = "".join(f".{c}" for c in sorted(self.classes))
+        return f"<Element {self.tag}{ident}{classes}>"
+
+
+class Document:
+    """A DOM document: a root ``<html>`` element plus indices."""
+
+    def __init__(self) -> None:
+        self.root = Element("html")
+        self.root._document = self
+        self._by_id: dict[str, Element] = {}
+
+    def create_element(
+        self,
+        tag: str,
+        element_id: str = "",
+        classes: Optional[set[str]] = None,
+        attributes: Optional[dict[str, str]] = None,
+        parent: Optional[Element] = None,
+    ) -> Element:
+        """Create an element and (optionally) attach it under ``parent``
+        (default: the document root)."""
+        element = Element(tag, element_id, classes, attributes)
+        target = parent if parent is not None else self.root
+        target.append_child(element)
+        return element
+
+    def _index(self, element: Element) -> None:
+        if element.id:
+            existing = self._by_id.get(element.id)
+            if existing is not None and existing is not element:
+                raise DomError(f"duplicate element id {element.id!r}")
+            self._by_id[element.id] = element
+
+    def get_element_by_id(self, element_id: str) -> Optional[Element]:
+        """Look up an attached element by id (None if absent)."""
+        element = self._by_id.get(element_id)
+        if element is not None and element.document is not self:
+            return None
+        return element
+
+    def all_elements(self) -> Iterator[Element]:
+        """All attached elements including the root, document order."""
+        yield self.root
+        yield from self.root.descendants()
+
+    def query_selector_all(self, selector: str) -> list[Element]:
+        """All elements matching a CSS selector, document order."""
+        from repro.web.css.selectors import parse_selector
+
+        parsed = parse_selector(selector)
+        return [e for e in self.all_elements() if parsed.matches(e)]
+
+    def query_selector(self, selector: str) -> Optional[Element]:
+        """First element matching a CSS selector, or None."""
+        matches = self.query_selector_all(selector)
+        return matches[0] if matches else None
+
+    def element_count(self) -> int:
+        """Number of attached elements (including the root)."""
+        return sum(1 for _ in self.all_elements())

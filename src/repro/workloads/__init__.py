@@ -1,0 +1,36 @@
+"""Workloads: the paper's twelve applications and interaction traces.
+
+The paper evaluates on twelve real web applications (Table 3) crawled
+with HTTrack and replayed with Mosaic.  The reproduction substitutes
+synthetic application models that preserve what the evaluation actually
+exercises:
+
+* the **interaction class** (Loading / Tapping / Moving) and QoS
+  category of each app's micro-benchmark interaction,
+* callback CPU cost distributions shaped to each app's role in the
+  results (light Todo taps, heavy LZMA-JS compression, MSN's
+  peak-performance requirement, W3Schools' frame-complexity surges…),
+* per-app DOMs, CSS (transitions where animations are CSS-driven) and
+  GreenWeb annotations with roughly Table 3's annotation coverage, and
+* deterministic (seeded) micro and full interaction traces matching
+  Table 3's event counts and durations.
+"""
+
+from repro.workloads.base import AppBundle, ApplicationSpec
+from repro.workloads.interactions import (
+    InteractionDriver,
+    InteractionTrace,
+    ScriptedEvent,
+)
+from repro.workloads.registry import APP_NAMES, build_app, table3_specs
+
+__all__ = [
+    "ApplicationSpec",
+    "AppBundle",
+    "ScriptedEvent",
+    "InteractionTrace",
+    "InteractionDriver",
+    "APP_NAMES",
+    "build_app",
+    "table3_specs",
+]

@@ -1,0 +1,73 @@
+"""Background application load (paper Sec. 8's multi-app discussion).
+
+"We believe that this ACMP-based runtime design is also applicable when
+multiple mobile applications are concurrently consuming CPU resources
+... today's ACMP systems have ample CPU resources ... the GreenWeb
+runtime system will still have a large trade-off space to schedule,
+although with fewer resources."
+
+:class:`BackgroundApplication` occupies one spare execution context
+with periodic work bursts (music decode, sync services, a background
+tab).  It shares the cluster's DVFS configuration with the foreground
+browser — whatever the foreground policy picks, the background work
+rides along, consuming a core and energy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.hardware.core import WorkUnit
+from repro.hardware.platform import MobilePlatform
+from repro.sim.clock import ms_to_us
+
+
+class BackgroundApplication:
+    """Periodic CPU bursts on a dedicated context."""
+
+    def __init__(
+        self,
+        platform: MobilePlatform,
+        period_ms: float = 50.0,
+        burst_mcycles: float = 2.0,
+        name: str = "background-app",
+    ) -> None:
+        if period_ms <= 0:
+            raise WorkloadError(f"non-positive period: {period_ms}")
+        if burst_mcycles < 0:
+            raise WorkloadError(f"negative burst size: {burst_mcycles}")
+        self.platform = platform
+        self.period_us = ms_to_us(period_ms)
+        self.burst_cycles = burst_mcycles * 1e6
+        self.name = name
+        self.bursts_run = 0
+        self._context = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Claim a context and begin the periodic bursts."""
+        if self._running:
+            return
+        if self._context is None:
+            self._context = self.platform.create_context(self.name)
+        self._running = True
+        self._arm()
+
+    def stop(self) -> None:
+        """Stop issuing new bursts (an in-flight burst completes)."""
+        self._running = False
+
+    def _arm(self) -> None:
+        self.platform.kernel.schedule_in(self.period_us, self._burst, label=self.name)
+
+    def _burst(self) -> None:
+        if not self._running:
+            return
+        self._context.submit(WorkUnit(self.burst_cycles), label=f"{self.name}-burst")
+        self.bursts_run += 1
+        self._arm()

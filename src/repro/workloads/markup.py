@@ -1,0 +1,367 @@
+"""HTML documents for the twelve applications.
+
+Each application's DOM is built from markup (through the library's own
+HTML parser) rather than assembled programmatically: the structure,
+class vocabulary, and stylesheet of each page resemble its real
+counterpart, and the CSS exercises the engine's full selector surface
+(attribute selectors, ``:not()``, sibling combinators, media queries).
+
+The *interactive* elements — the ones the traces target and the
+callbacks attach to — keep the stable ids the rest of the workload
+layer uses (``#story-link``, ``#feed``, ...).  Render costs are not
+derived from DOM size (they are calibrated per app in ``apps.py``), so
+this content shapes behaviourally relevant structure (selector
+matching, bubbling paths, AutoGreen discovery) without perturbing the
+calibration.
+"""
+
+from __future__ import annotations
+
+_BASE_CSS = """
+  body { margin: 0; font-family: sans; }
+  header { height: 56px; }
+  nav > a { padding: 8px; }
+  a[href^='https'] { color: green; }
+  @media (max-width: 600px) { aside { display: none; } }
+"""
+
+
+def bbc_markup() -> str:
+    stories = "\n".join(
+        f"<article class='story' data-section='{section}'>"
+        f"<h2 class='headline'></h2><p class='summary'></p></article>"
+        for section in ("world", "uk", "business", "tech", "science", "health")
+    )
+    return f"""
+    <html>
+    <style>
+      {_BASE_CSS}
+      article.story {{ margin: 12px; }}
+      article.story:not(.promoted) h2 {{ font-weight: bold; }}
+      .ticker + .story {{ border-top: 1px solid; }}
+    </style>
+    <body>
+      <header><nav id="top-nav">
+        <a href="https://bbc.co.uk/news">News</a>
+        <a href="https://bbc.co.uk/sport">Sport</a>
+        <a href="https://bbc.co.uk/weather">Weather</a>
+      </nav></header>
+      <main>
+        <div class="ticker"></div>
+        <div id="story-link" class="headline promoted"></div>
+        {stories}
+        <div id="misc-area"><div class="ad-slot"></div><div class="ad-slot"></div></div>
+      </main>
+      <footer><a href="https://bbc.co.uk/about">About</a></footer>
+    </body>
+    </html>
+    """
+
+
+def google_markup() -> str:
+    return f"""
+    <html>
+    <style>
+      {_BASE_CSS}
+      #search-box {{ width: 400px; }}
+      .suggestion:not(.sponsored) {{ padding: 4px; }}
+      input[type=text] {{ border: 1px; }}
+    </style>
+    <body>
+      <div class="logo"></div>
+      <form role="search">
+        <input type="text" name="q">
+        <div id="search-box" class="searchbar"></div>
+        <div class="suggestions">
+          <div class="suggestion"></div>
+          <div class="suggestion"></div>
+          <div class="suggestion sponsored"></div>
+        </div>
+      </form>
+      <div id="footer" class="links">
+        <a href="https://about.google">About</a>
+        <a href="https://policies.google.com">Privacy</a>
+        <a href="https://google.com/settings">Settings</a>
+      </div>
+      <div class="doodle-banner"><img src="/doodle.png"></div>
+      <footer class="country"><span class="region"></span></footer>
+    </body>
+    </html>
+    """
+
+
+def camanjs_markup() -> str:
+    filters = "\n".join(
+        f"<button class='filter' data-filter='{name}'></button>"
+        for name in ("vintage", "lomo", "clarity", "sincity", "sunrise")
+    )
+    return f"""
+    <html>
+    <style>
+      {_BASE_CSS}
+      canvas {{ width: 800px; height: 600px; }}
+      button.filter {{ margin: 4px; }}
+      button.filter + button.filter {{ margin-left: 0; }}
+    </style>
+    <body>
+      <canvas id="editor-canvas"></canvas>
+      <div class="toolbar">
+        <div id="filter-btn" class="button primary"></div>
+        {filters}
+      </div>
+      <div class="histogram"><span class="r"></span><span class="g"></span><span class="b"></span></div>
+      <footer class="credits"><a href="http://camanjs.com">CamanJS</a></footer>
+    </body>
+    </html>
+    """
+
+
+def lzma_js_markup() -> str:
+    return f"""
+    <html>
+    <style>
+      {_BASE_CSS}
+      textarea {{ width: 100%; height: 200px; }}
+      .progress[data-state=busy] {{ opacity: 0.5; }}
+    </style>
+    <body>
+      <textarea id="input-text"></textarea>
+      <div class="controls">
+        <div id="compress-btn" class="button"></div>
+        <select id="level"><option value="1"></option><option value="9"></option></select>
+      </div>
+      <div class="progress" data-state="idle"></div>
+      <pre id="output"></pre>
+      <div class="stats"><span class="ratio"></span><span class="elapsed"></span></div>
+      <footer class="about"><a href="https://github.com/LZMA-JS">Source</a>
+        <p class="license"></p></footer>
+    </body>
+    </html>
+    """
+
+
+def msn_markup() -> str:
+    cards = "\n".join(
+        f"<div class='card' data-topic='{topic}'><img src='/{topic}.jpg'>"
+        f"<h3></h3></div>"
+        for topic in ("news", "money", "sports", "lifestyle", "weather",
+                      "entertainment", "autos", "health")
+    )
+    return f"""
+    <html>
+    <style>
+      {_BASE_CSS}
+      .card {{ width: 300px; }}
+      .card:not([data-topic=news]) img {{ height: 160px; }}
+      nav .nav {{ display: inline; }}
+    </style>
+    <body>
+      <header><nav id="main-nav">
+        <div id="nav-item" class="nav"></div>
+        <a href="https://msn.com/money">Money</a>
+        <a href="https://msn.com/sports">Sports</a>
+      </nav></header>
+      <main>
+        <div id="teaser" class="hero"></div>
+        {cards}
+      </main>
+    </body>
+    </html>
+    """
+
+
+def todo_markup() -> str:
+    items = "\n".join(
+        f"<li class='todo-item{' done' if i % 3 == 0 else ''}'></li>" for i in range(8)
+    )
+    return f"""
+    <html>
+    <style>
+      {_BASE_CSS}
+      li.todo-item.done {{ text-decoration: line-through; }}
+      li.todo-item + li.todo-item {{ border-top: 1px dotted; }}
+    </style>
+    <body>
+      <section class="todoapp">
+        <input id="new-todo" type="text">
+        <div id="add-btn" class="button add"></div>
+        <ul class="todo-list">
+          <li id="item-toggle" class="todo-item"></li>
+          {items}
+        </ul>
+        <footer class="filters">
+          <a href="#all">All</a><a href="#active">Active</a>
+        </footer>
+      </section>
+    </body>
+    </html>
+    """
+
+
+def amazon_markup() -> str:
+    tiles = "\n".join(
+        f"<div class='product' data-asin='B{i:07d}'><img src='/p{i}.jpg'>"
+        f"<span class='price'></span></div>"
+        for i in range(10)
+    )
+    return f"""
+    <html>
+    <style>
+      {_BASE_CSS}
+      .product {{ width: 180px; }}
+      .product[data-asin^='B00'] .price {{ color: red; }}
+      .scrollable {{ overflow: scroll; }}
+    </style>
+    <body>
+      <header><div class="searchbar"></div></header>
+      <div id="feed" class="scrollable main-feed">{tiles}</div>
+      <div id="sidebar" class="scrollable related"></div>
+      <div id="reviews" class="scrollable reviews">
+        <div class="review"></div><div class="review"></div>
+      </div>
+      <div id="buy-btn" class="button buy-now"></div>
+    </body>
+    </html>
+    """
+
+
+def craigslist_markup() -> str:
+    rows = "\n".join(
+        f"<li class='result-row' data-id='{7000 + i}'><a href='https://x/{i}'></a>"
+        f"<span class='result-price'></span></li>"
+        for i in range(15)
+    )
+    return f"""
+    <html>
+    <style>
+      {_BASE_CSS}
+      .result-row {{ padding: 6px; }}
+      .result-row:not(:first-child) {{ border-top: 1px; }}
+    </style>
+    <body>
+      <header class="bchead"></header>
+      <ul id="list" class="rows">{rows}</ul>
+      <div id="post-link" class="button post"></div>
+    </body>
+    </html>
+    """
+
+
+def paperjs_markup() -> str:
+    return f"""
+    <html>
+    <style>
+      {_BASE_CSS}
+      #canvas {{ width: 100%; height: 500px; }}
+      .tool[data-active=true] {{ outline: 2px solid; }}
+    </style>
+    <body>
+      <div class="toolbar">
+        <div class="tool" data-active="true"></div>
+        <div class="tool"></div>
+        <div class="tool"></div>
+      </div>
+      <div id="canvas" class="drawing"></div>
+      <div class="layers"><div class="layer" data-z="0"></div>
+        <div class="layer" data-z="1"></div><div class="layer" data-z="2"></div></div>
+      <div class="statusbar"><span class="coords"></span><span class="zoom"></span></div>
+      <footer><a href="https://paperjs.org/reference">Reference</a></footer>
+    </body>
+    </html>
+    """
+
+
+def cnet_markup() -> str:
+    stories = "\n".join(
+        "<article class='river-item'><img><h3></h3></article>" for _ in range(6)
+    )
+    return f"""
+    <html>
+    <style>
+      {_BASE_CSS}
+      #menu {{ height: 0; }}
+      .river-item ~ .river-item {{ margin-top: 8px; }}
+      article img {{ width: 220px; }}
+    </style>
+    <body>
+      <header>
+        <div id="menu" class="expandable mega-menu">
+          <a href="https://cnet.com/reviews">Reviews</a>
+          <a href="https://cnet.com/news">News</a>
+        </div>
+      </header>
+      <main class="river">{stories}</main>
+      <div id="other" class="load-more"></div>
+    </body>
+    </html>
+    """
+
+
+def goo_ne_jp_markup() -> str:
+    return f"""
+    <html>
+    <style>
+      {_BASE_CSS}
+      #panel {{ width: 100px; transition: width 0.5s; }}
+      .portal-link[href$='.jp'] {{ font-size: 12px; }}
+    </style>
+    <body>
+      <header class="portal-head"></header>
+      <div id="panel" class="nav expandable">
+        <a class="portal-link" href="https://mail.goo.ne.jp">Mail</a>
+        <a class="portal-link" href="https://news.goo.ne.jp">News</a>
+        <a class="portal-link" href="https://dict.goo.ne.jp">Dict</a>
+      </div>
+      <div id="link" class="topics"></div>
+      <div class="ranking"><ol><li></li><li></li><li></li><li></li><li></li></ol></div>
+      <div class="weather" data-region="tokyo"></div>
+      <footer class="portal-foot"><a href="https://help.goo.ne.jp">Help</a></footer>
+    </body>
+    </html>
+    """
+
+
+def w3schools_markup() -> str:
+    chapters = "\n".join(
+        f"<a class='chapter' href='/css/{name}.asp'></a>"
+        for name in ("intro", "syntax", "selectors", "colors", "boxmodel")
+    )
+    return f"""
+    <html>
+    <style>
+      {_BASE_CSS}
+      #tryit {{ height: 0; }}
+      .chapter:not(.active) {{ color: gray; }}
+      .w3-sidebar a + a {{ border-top: 1px; }}
+    </style>
+    <body>
+      <div class="w3-sidebar">{chapters}</div>
+      <main>
+        <div id="tryit" class="editor tryit-pane"></div>
+        <div id="nav" class="next-prev"></div>
+        <div class="example"><pre></pre></div>
+        <div class="example"><pre></pre></div>
+        <table class="reference"><tr><td></td><td></td></tr>
+          <tr><td></td><td></td></tr></table>
+      </main>
+      <footer class="w3-foot"><a href="https://w3schools.com/about">About</a></footer>
+    </body>
+    </html>
+    """
+
+
+#: app name -> markup builder
+APP_MARKUP = {
+    "bbc": bbc_markup,
+    "google": google_markup,
+    "camanjs": camanjs_markup,
+    "lzma_js": lzma_js_markup,
+    "msn": msn_markup,
+    "todo": todo_markup,
+    "amazon": amazon_markup,
+    "craigslist": craigslist_markup,
+    "paperjs": paperjs_markup,
+    "cnet": cnet_markup,
+    "goo_ne_jp": goo_ne_jp_markup,
+    "w3schools": w3schools_markup,
+}

@@ -1,0 +1,49 @@
+"""Workload registry: build applications by name, Table 3 metadata."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.workloads.apps import APP_BUILDERS
+from repro.workloads.base import AppBundle, ApplicationSpec
+
+#: All application names, Table 3 order.
+APP_NAMES: tuple[str, ...] = tuple(APP_BUILDERS)
+
+
+def build_app(name: str, seed: int = 0, with_manual_annotations: bool = True) -> AppBundle:
+    """Build a fresh application bundle.
+
+    Args:
+        name: one of :data:`APP_NAMES`.
+        seed: workload RNG seed (deterministic per (name, seed)).
+        with_manual_annotations: merge the developer's GreenWeb
+            annotations into the page stylesheet (the paper's manual or
+            AutoGreen-plus-corrections annotation state).  Pass False
+            to get the *unannotated* application, e.g. to run AutoGreen
+            on it from scratch.
+
+    Raises:
+        WorkloadError: for an unknown application name.
+    """
+    try:
+        builder = APP_BUILDERS[name]
+    except KeyError:
+        raise WorkloadError(f"unknown application {name!r}; known: {list(APP_NAMES)}") from None
+    bundle = builder(seed)
+    if with_manual_annotations:
+        bundle.apply_manual_annotations()
+    return bundle
+
+
+def table3_specs() -> list[ApplicationSpec]:
+    """The Table 3 metadata rows for all twelve applications."""
+    return [APP_BUILDERS[name](0).spec for name in APP_NAMES]
+
+
+def app_spec(name: str) -> ApplicationSpec:
+    """Metadata for one application without building its page twice."""
+    if name not in APP_BUILDERS:
+        raise WorkloadError(f"unknown application {name!r}")
+    return APP_BUILDERS[name](0).spec

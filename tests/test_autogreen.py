@@ -1,0 +1,199 @@
+"""Tests for the AutoGreen automatic annotation framework."""
+
+import pytest
+
+from repro.autogreen import (
+    AutoGreen,
+    DetectionSignal,
+    detect_signals,
+    discover_annotation_targets,
+    generate_annotations,
+    selector_for,
+)
+from repro.autogreen.generate import annotate_page, registry_for_page
+from repro.browser import Page
+from repro.core.qos import QoSType, SINGLE_SHORT_DEFAULT
+from repro.web import Callback, Document, ScriptContext, parse_html
+
+
+def make_page(markup="<div id='a'></div>", css_extra=""):
+    document, sheet = parse_html(markup)
+    if css_extra:
+        from repro.web.css.parser import parse_stylesheet
+
+        sheet.extend(parse_stylesheet(css_extra))
+    return Page(name="p", document=document, stylesheet=sheet)
+
+
+class TestDiscovery:
+    def test_discovers_mobile_listeners(self):
+        page = make_page("<div id='a'></div><div id='b'></div>")
+        a = page.document.get_element_by_id("a")
+        b = page.document.get_element_by_id("b")
+        a.add_event_listener("click", Callback(lambda ctx: None))
+        b.add_event_listener("touchmove", Callback(lambda ctx: None))
+        targets = discover_annotation_targets(page)
+        assert {(e.id, t.value) for e, t in targets} == {("a", "click"), ("b", "touchmove")}
+
+    def test_internal_events_not_targets(self):
+        page = make_page()
+        a = page.document.get_element_by_id("a")
+        a.add_event_listener("transitionend", Callback(lambda ctx: None))
+        assert discover_annotation_targets(page) == []
+
+
+class TestDetection:
+    def effects_of(self, page, body):
+        ctx = ScriptContext(page.document)
+        body(ctx)
+        return ctx.effects
+
+    def test_raf_signal(self):
+        page = make_page()
+        effects = self.effects_of(page, lambda ctx: ctx.request_animation_frame(lambda c: None))
+        assert detect_signals(effects, page.stylesheet) == [DetectionSignal.RAF]
+
+    def test_animate_signal(self):
+        page = make_page()
+        a = page.document.get_element_by_id("a")
+        effects = self.effects_of(page, lambda ctx: ctx.animate(a, "left", 300))
+        assert detect_signals(effects, page.stylesheet) == [DetectionSignal.ANIMATE]
+
+    def test_css_transition_signal(self):
+        page = make_page(css_extra="#a { transition: width 2s; }")
+        a = page.document.get_element_by_id("a")
+        effects = self.effects_of(page, lambda ctx: ctx.set_style(a, "width", "5px"))
+        assert detect_signals(effects, page.stylesheet) == [DetectionSignal.CSS_TRANSITION]
+
+    def test_css_animation_signal(self):
+        page = make_page()
+        a = page.document.get_element_by_id("a")
+        effects = self.effects_of(page, lambda ctx: ctx.set_style(a, "animation", "spin 1s"))
+        assert detect_signals(effects, page.stylesheet) == [DetectionSignal.CSS_ANIMATION]
+
+    def test_plain_style_write_is_not_continuous(self):
+        page = make_page()
+        a = page.document.get_element_by_id("a")
+        effects = self.effects_of(page, lambda ctx: ctx.set_style(a, "width", "5px"))
+        assert detect_signals(effects, page.stylesheet) == []
+
+
+class TestProfiling:
+    def test_single_classification(self):
+        page = make_page()
+        a = page.document.get_element_by_id("a")
+        a.add_event_listener("click", Callback(lambda ctx: ctx.mark_dirty(), "tap"))
+        result = AutoGreen(page).profile_event(a, _event("click"))
+        assert result.qos_type is QoSType.SINGLE
+        assert result.spec.target == SINGLE_SHORT_DEFAULT  # conservative
+
+    def test_continuous_classification_via_raf(self):
+        page = make_page()
+        a = page.document.get_element_by_id("a")
+        a.add_event_listener(
+            "touchmove", Callback(lambda ctx: ctx.request_animation_frame(lambda c: None))
+        )
+        result = AutoGreen(page).profile_event(a, _event("touchmove"))
+        assert result.qos_type is QoSType.CONTINUOUS
+        assert DetectionSignal.RAF in result.signals
+
+    def test_animation_behind_timeout_is_found(self):
+        """A setTimeout that later starts an animation still classifies
+        the event as continuous (continuation following)."""
+        page = make_page()
+        a = page.document.get_element_by_id("a")
+
+        def later(ctx):
+            ctx.animate(a, "left", 200)
+
+        a.add_event_listener(
+            "click", Callback(lambda ctx: ctx.set_timeout(later, 50), "deferred")
+        )
+        result = AutoGreen(page).profile_event(a, _event("click"))
+        assert result.qos_type is QoSType.CONTINUOUS
+
+    def test_depth_limit_respected(self):
+        page = make_page()
+        a = page.document.get_element_by_id("a")
+
+        def chain(n):
+            def cb(ctx):
+                if n == 0:
+                    ctx.animate(a, "left", 100)
+                else:
+                    ctx.set_timeout(chain(n - 1), 10)
+
+            return cb
+
+        a.add_event_listener("click", Callback(chain(10), "deep"))
+        result = AutoGreen(page, max_continuation_depth=2).profile_event(a, _event("click"))
+        assert result.qos_type is QoSType.SINGLE  # too deep to see
+
+    def test_profiling_does_not_mutate_state(self):
+        page = make_page()
+        page.state["count"] = 0
+        a = page.document.get_element_by_id("a")
+
+        def bump(ctx):
+            ctx.state["count"] += 1
+            ctx.mark_dirty()
+
+        a.add_event_listener("click", Callback(bump, "bump"))
+        AutoGreen(page).profile_event(a, _event("click"))
+        assert page.state["count"] == 0
+
+
+class TestGeneration:
+    def test_selector_preference(self):
+        doc = Document()
+        with_id = doc.create_element("div", element_id="x", classes={"c"})
+        with_class = doc.create_element("span", classes={"b", "a"})
+        bare = doc.create_element("p")
+        assert selector_for(with_id) == "div#x"
+        assert selector_for(with_class) == "span.a.b"
+        assert selector_for(bare) == "p"
+
+    def test_end_to_end_annotation_injection(self):
+        page = make_page(
+            markup="<div id='tap'></div><div id='move'></div>",
+            css_extra="#move { transition: left 1s; }",
+        )
+        tap = page.document.get_element_by_id("tap")
+        move = page.document.get_element_by_id("move")
+        tap.add_event_listener("click", Callback(lambda ctx: ctx.mark_dirty(), "t"))
+        move.add_event_listener(
+            "touchmove", Callback(lambda ctx: ctx.set_style(move, "left", "1px"), "m")
+        )
+        report = annotate_page(page)
+        assert report.single_count == 1
+        assert report.continuous_count == 1
+        assert "onclick-qos: single, short" in report.css_text
+        assert "ontouchmove-qos: continuous" in report.css_text
+
+        registry = registry_for_page(page)
+        assert registry.lookup(tap, "click").qos_type is QoSType.SINGLE
+        assert registry.lookup(move, "touchmove").qos_type is QoSType.CONTINUOUS
+
+    def test_ambiguous_selector_reported(self):
+        page = make_page(markup="<p></p>")
+        p = page.document.query_selector("p")
+        p.add_event_listener("click", Callback(lambda ctx: None))
+        report = generate_annotations(AutoGreen(page).run())
+        assert report.ambiguous_selectors == ["p"]
+
+    def test_generated_css_reparses(self):
+        page = make_page()
+        a = page.document.get_element_by_id("a")
+        a.add_event_listener("click", Callback(lambda ctx: ctx.mark_dirty()))
+        report = annotate_page(page)
+        from repro.core.language import extract_annotations
+        from repro.web.css.parser import parse_stylesheet
+
+        reparsed = extract_annotations(parse_stylesheet(report.css_text))
+        assert len(reparsed) == 1
+
+
+def _event(name):
+    from repro.web.events import coerce_event_type
+
+    return coerce_event_type(name)

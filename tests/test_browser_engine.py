@@ -1,0 +1,377 @@
+"""Tests for the browser engine: pipeline, batching, tracking, animations."""
+
+import pytest
+
+from repro.browser import Browser, BrowserPolicy, Page, RenderCostModel
+from repro.browser.vsync import VSYNC_PERIOD_US
+from repro.hardware import odroid_xu_e
+from repro.web import Callback, Document, parse_html
+from repro.web.css.parser import parse_stylesheet
+
+
+def make_browser(markup="<div id='btn'></div>", css="", policy=None, **page_kwargs):
+    platform = odroid_xu_e()
+    document, sheet = parse_html(markup)
+    if css:
+        sheet.extend(parse_stylesheet(css))
+    page = Page(name="test", document=document, stylesheet=sheet, **page_kwargs)
+    browser = Browser(platform, page, policy=policy)
+    return browser
+
+
+def work_callback(cycles=1_800_000, complexity=1.0, name="cb"):
+    def body(ctx):
+        ctx.do_work(cycles)
+        ctx.mark_dirty(complexity)
+
+    return Callback(body, name)
+
+
+class TestSingleFrame:
+    def test_tap_produces_one_frame(self):
+        browser = make_browser()
+        btn = browser.page.document.get_element_by_id("btn")
+        btn.add_event_listener("click", work_callback())
+        msg = browser.dispatch_event("click", btn)
+        browser.run_for(100_000)
+        record = browser.tracker.record(msg.uid)
+        assert record.frame_count == 1
+        assert record.completed
+        assert browser.stats.frames == 1
+
+    def test_frame_latency_spans_input_to_display(self):
+        browser = make_browser()
+        btn = browser.page.document.get_element_by_id("btn")
+        btn.add_event_listener("click", work_callback())
+        msg = browser.dispatch_event("click", btn)
+        browser.run_for(100_000)
+        latency = browser.tracker.record(msg.uid).first_frame_latency_us
+        # Frame waits for the first VSync (16.667 ms) then renders
+        # (~4 ms at big-max with the default cost model).
+        assert VSYNC_PERIOD_US < latency < VSYNC_PERIOD_US + 8_000
+
+    def test_input_without_listeners_completes_frameless(self):
+        browser = make_browser()
+        btn = browser.page.document.get_element_by_id("btn")
+        msg = browser.dispatch_event("click", btn)
+        browser.run_for(50_000)
+        record = browser.tracker.record(msg.uid)
+        assert record.completed
+        assert record.frame_count == 0
+
+    def test_callback_without_dirty_produces_no_frame(self):
+        browser = make_browser()
+        btn = browser.page.document.get_element_by_id("btn")
+        btn.add_event_listener("click", Callback(lambda ctx: ctx.do_work(10_000), "quiet"))
+        browser.dispatch_event("click", btn)
+        browser.run_for(100_000)
+        assert browser.stats.frames == 0
+
+    def test_post_frame_timeout_work_extends_closure_not_frames(self):
+        browser = make_browser()
+        btn = browser.page.document.get_element_by_id("btn")
+
+        def body(ctx):
+            ctx.do_work(100_000)
+            ctx.mark_dirty()
+            ctx.set_timeout(lambda c: c.do_work(5_000_000), delay_ms=30)
+
+        btn.add_event_listener("click", Callback(body, "with-postwork"))
+        msg = browser.dispatch_event("click", btn)
+        browser.run_for(200_000)
+        record = browser.tracker.record(msg.uid)
+        assert record.frame_count == 1  # post-frame work paints nothing
+        assert record.completed
+        # Completion waits for the timeout's work to finish.
+        assert record.complete_us > record.first_frame_latency_us
+
+
+class TestBatching:
+    def test_two_inputs_one_frame(self):
+        """Dirty-bit batching: inputs within one VSync share a frame."""
+        browser = make_browser()
+        btn = browser.page.document.get_element_by_id("btn")
+        btn.add_event_listener("click", work_callback(cycles=100_000))
+        first = browser.dispatch_event("click", btn)
+        browser.run_for(3_000)
+        second = browser.dispatch_event("click", btn)
+        browser.run_for(100_000)
+        assert browser.stats.frames == 1
+        rec1 = browser.tracker.record(first.uid)
+        rec2 = browser.tracker.record(second.uid)
+        assert rec1.frame_count == rec2.frame_count == 1
+        # The earlier input waited longer, so its latency is larger.
+        assert rec1.first_frame_latency_us > rec2.first_frame_latency_us
+
+    def test_interleaved_inputs_attributed_correctly(self):
+        """Fig. 8's first complexity: input 2 arrives before input 1's
+        frame is out; both get their own correct latency."""
+        browser = make_browser()
+        btn = browser.page.document.get_element_by_id("btn")
+        btn.add_event_listener("click", work_callback(cycles=40_000_000))  # ~22ms
+        first = browser.dispatch_event("click", btn)
+        browser.run_for(18_000)
+        second = browser.dispatch_event("click", btn)
+        browser.run_for(300_000)
+        rec1 = browser.tracker.record(first.uid)
+        rec2 = browser.tracker.record(second.uid)
+        assert rec1.frame_count == 1
+        assert rec2.frame_count == 1
+        assert rec1.first_frame_latency_us > 18_000
+
+
+class TestTransitions:
+    FIG4 = """
+    <style>
+      #ex { width: 100px; transition: width 2s; }
+    </style>
+    <div id="ex"></div>
+    """
+
+    def test_css_transition_generates_continuous_frames(self):
+        browser = make_browser(markup=self.FIG4)
+        ex = browser.page.document.get_element_by_id("ex")
+
+        def expand(ctx):
+            ctx.do_work(200_000)
+            ctx.set_style(ex, "width", "500px")
+
+        ex.add_event_listener("touchstart", Callback(expand, "animateExpanding"))
+        msg = browser.dispatch_event("touchstart", ex)
+        browser.run_for(3_000_000)  # 3 s > 2 s transition
+        record = browser.tracker.record(msg.uid)
+        # ~120 frames at 60 fps over 2 s (first frame + ticks).
+        assert 100 <= record.frame_count <= 125
+        assert record.completed
+        assert ex.style["width"] == "500px"
+
+    def test_transitionend_fires_once(self):
+        browser = make_browser(markup=self.FIG4)
+        ex = browser.page.document.get_element_by_id("ex")
+        ends = []
+        ex.add_event_listener("transitionend", Callback(lambda ctx: ends.append(1), "onend"))
+        ex.add_event_listener(
+            "touchstart", Callback(lambda ctx: ctx.set_style(ex, "width", "500px"), "go")
+        )
+        browser.dispatch_event("touchstart", ex)
+        browser.run_for(3_000_000)
+        assert ends == [1]
+
+    def test_style_write_without_transition_is_single_frame(self):
+        browser = make_browser(markup="<div id='ex'></div>")
+        ex = browser.page.document.get_element_by_id("ex")
+        ex.add_event_listener(
+            "click", Callback(lambda ctx: ctx.set_style(ex, "width", "9px"), "set")
+        )
+        msg = browser.dispatch_event("click", ex)
+        browser.run_for(200_000)
+        assert browser.tracker.record(msg.uid).frame_count == 1
+
+
+class TestRafAnimations:
+    def test_raf_loop_produces_frames(self):
+        """The paper's Fig. 5 idiom: touchmove registers a rAF handler
+        that dirties and re-registers itself."""
+        browser = make_browser()
+        btn = browser.page.document.get_element_by_id("btn")
+        frames_wanted = 30
+
+        def raf_handler(ctx):
+            ctx.do_work(300_000)
+            ctx.mark_dirty()
+            ctx.state["ticks"] = ctx.state.get("ticks", 0) + 1
+            if ctx.state["ticks"] < frames_wanted:
+                ctx.request_animation_frame(raf_handler)
+
+        def on_move(ctx):
+            ctx.request_animation_frame(raf_handler)
+
+        btn.add_event_listener("touchmove", Callback(on_move, "onMove"))
+        msg = browser.dispatch_event("touchmove", btn)
+        browser.run_for(2_000_000)
+        record = browser.tracker.record(msg.uid)
+        assert record.frame_count == frames_wanted
+        assert record.completed
+
+    def test_animate_call_produces_frames_for_duration(self):
+        browser = make_browser()
+        btn = browser.page.document.get_element_by_id("btn")
+
+        def on_click(ctx):
+            ctx.do_work(100_000)
+            ctx.animate(btn, "left", duration_ms=500)
+
+        btn.add_event_listener("click", Callback(on_click, "jq"))
+        msg = browser.dispatch_event("click", btn)
+        browser.run_for(1_500_000)
+        record = browser.tracker.record(msg.uid)
+        assert 25 <= record.frame_count <= 33  # ~30 frames in 500 ms
+        assert record.completed
+
+    def test_animation_frames_have_per_frame_latency(self):
+        """Animation frame latencies measure per-frame production time,
+        not time since the root input (paper Sec. 3.3)."""
+        browser = make_browser()
+        btn = browser.page.document.get_element_by_id("btn")
+        btn.add_event_listener(
+            "click", Callback(lambda ctx: ctx.animate(btn, "left", duration_ms=400), "jq")
+        )
+        msg = browser.dispatch_event("click", btn)
+        browser.run_for(1_000_000)
+        latencies = browser.tracker.record(msg.uid).frame_latencies_us
+        # Every animation frame renders in a few ms, far below 400 ms.
+        assert all(lat < 16_000 for lat in latencies[1:])
+
+
+class TestNativeScroll:
+    def test_scroll_without_listeners_produces_frames(self):
+        browser = make_browser(native_scroll_complexity=0.5)
+        target = browser.page.document.root
+        msgs = [browser.dispatch_event("touchmove", target) for _ in range(3)]
+        browser.run_for(200_000)
+        assert browser.stats.frames >= 1
+        assert all(browser.tracker.record(m.uid).frame_count == 1 for m in msgs)
+
+    def test_native_scroll_disabled_by_default(self):
+        browser = make_browser()
+        browser.dispatch_event("scroll", browser.page.document.root)
+        browser.run_for(100_000)
+        assert browser.stats.frames == 0
+
+
+class TestFrameSkipping:
+    def test_heavy_frames_skip_vsyncs(self):
+        browser = make_browser(
+            render_cost=RenderCostModel(
+                style_cycles=10_000_000,
+                layout_cycles=20_000_000,
+                paint_cycles=20_000_000,
+                composite_cycles=10_000_000,
+                composite_fixed_us=4_000,
+            )
+        )
+        btn = browser.page.document.get_element_by_id("btn")
+        btn.add_event_listener(
+            "click", Callback(lambda ctx: ctx.animate(btn, "left", duration_ms=500), "heavy")
+        )
+        browser.dispatch_event("click", btn)
+        browser.run_for(1_200_000)
+        assert browser.stats.skipped_vsyncs > 0
+        # Effective frame rate is below 60 fps: fewer than 30 frames in 500 ms.
+        assert browser.stats.frames < 30
+
+
+class TestPolicyHooks:
+    class Recorder(BrowserPolicy):
+        def __init__(self):
+            self.inputs = []
+            self.scheduled = []
+            self.displayed = []
+            self.completed = []
+
+        def on_input(self, msg, event):
+            self.inputs.append(msg.uid)
+
+        def on_frame_scheduled(self, vsync_us, msgs):
+            self.scheduled.append([m.uid for m in msgs])
+
+        def on_frame_displayed(self, frame):
+            self.displayed.append(frame.seq)
+
+        def on_input_complete(self, record):
+            self.completed.append(record.uid)
+
+    def test_all_hooks_fire(self):
+        recorder = self.Recorder()
+        browser = make_browser(policy=recorder)
+        btn = browser.page.document.get_element_by_id("btn")
+        btn.add_event_listener("click", work_callback(cycles=500_000))
+        msg = browser.dispatch_event("click", btn)
+        browser.run_for(100_000)
+        assert recorder.inputs == [msg.uid]
+        assert recorder.scheduled and recorder.scheduled[0] == [msg.uid]
+        assert recorder.displayed == [1]
+        assert recorder.completed == [msg.uid]
+
+
+class TestRunHelpers:
+    def test_run_until_quiescent(self):
+        browser = make_browser()
+        btn = browser.page.document.get_element_by_id("btn")
+        btn.add_event_listener("click", work_callback())
+        browser.dispatch_event("click", btn)
+        browser.run_until_quiescent()
+        assert all(r.completed for r in browser.tracker.records)
+
+    def test_stats_counters(self):
+        browser = make_browser()
+        btn = browser.page.document.get_element_by_id("btn")
+        btn.add_event_listener("click", work_callback(cycles=100_000))
+        browser.dispatch_event("click", btn)
+        browser.dispatch_event("click", btn)
+        browser.run_for(100_000)
+        assert browser.stats.inputs == 2
+        assert browser.stats.callbacks_run == 2
+
+
+class TestCssAnimations:
+    """CSS ``animation`` property writes start keyframe animations."""
+
+    def test_animation_property_write_generates_frames(self):
+        browser = make_browser(markup="<div id='spinner'></div>")
+        spinner = browser.page.document.get_element_by_id("spinner")
+        spinner.add_event_listener(
+            "click",
+            Callback(lambda ctx: ctx.set_style(spinner, "animation", "spin 0.5s"), "go"),
+        )
+        msg = browser.dispatch_event("click", spinner)
+        browser.run_for(1_500_000)
+        record = browser.tracker.record(msg.uid)
+        assert 25 <= record.frame_count <= 33  # ~30 frames over 500 ms
+        assert record.completed
+
+    def test_animationend_fires(self):
+        browser = make_browser(markup="<div id='spinner'></div>")
+        spinner = browser.page.document.get_element_by_id("spinner")
+        ends = []
+        spinner.add_event_listener(
+            "animationend", Callback(lambda ctx: ends.append(1), "onend")
+        )
+        spinner.add_event_listener(
+            "click",
+            Callback(lambda ctx: ctx.set_style(spinner, "animation", "spin 0.3s"), "go"),
+        )
+        browser.dispatch_event("click", spinner)
+        browser.run_for(1_000_000)
+        assert ends == [1]
+
+    def test_infinite_animation_capped(self):
+        browser = make_browser(markup="<div id='spinner'></div>")
+        spinner = browser.page.document.get_element_by_id("spinner")
+        spinner.add_event_listener(
+            "click",
+            Callback(
+                lambda ctx: ctx.set_style(spinner, "animation", "spin 1s infinite"),
+                "go",
+            ),
+        )
+        msg = browser.dispatch_event("click", spinner)
+        browser.run_for(12_000_000)  # past the 10 s cap
+        record = browser.tracker.record(msg.uid)
+        assert record.completed  # the cap ended it
+        assert record.frame_count > 500
+
+    def test_iterated_animation_duration(self):
+        browser = make_browser(markup="<div id='spinner'></div>")
+        spinner = browser.page.document.get_element_by_id("spinner")
+        spinner.add_event_listener(
+            "click",
+            Callback(
+                lambda ctx: ctx.set_style(spinner, "animation", "pulse 0.2s 3"), "go"
+            ),
+        )
+        msg = browser.dispatch_event("click", spinner)
+        browser.run_for(2_000_000)
+        record = browser.tracker.record(msg.uid)
+        # 3 iterations x 0.2 s = 0.6 s of frames at ~60 fps.
+        assert 30 <= record.frame_count <= 40

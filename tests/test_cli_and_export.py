@@ -1,0 +1,175 @@
+"""Tests for the CLI and the Chrome-trace exporter."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.evaluation.report import ascii_bars
+from repro.sim.trace_export import export_chrome_trace, to_chrome_trace
+from repro.sim.tracing import TraceLog
+
+
+class TestTraceExport:
+    def make_trace(self):
+        trace = TraceLog()
+        trace.emit(100, "input", "click", uid=1, target="#btn")
+        trace.emit(200, "config", "applied", cluster="big", freq_mhz=1800)
+        trace.emit(300, "animation", "start", kind="transition", uid=1,
+                   target="width", end_us=2000)
+        trace.emit(2000, "animation", "end", kind="transition", uid=1, target="width")
+        trace.emit(20_000, "frame", "displayed", seq=1, uids=(1,),
+                   complexity=1.0, max_latency_us=19_900)
+        trace.emit(25_000, "input", "complete", uid=1, frames=1)
+        return trace
+
+    def test_event_kinds(self):
+        events = to_chrome_trace(self.make_trace())
+        phases = [e["ph"] for e in events]
+        assert phases.count("M") == 4  # track names
+        names = [e["name"] for e in events]
+        assert "input:click" in names
+        assert "frame 1" in names
+        assert "animation:transition" in names
+        assert "freq_mhz" in names
+
+    def test_frame_duration_spans_latency(self):
+        events = to_chrome_trace(self.make_trace())
+        frame = next(e for e in events if e["name"] == "frame 1")
+        assert frame["ph"] == "X"
+        assert frame["dur"] == 19_900
+        assert frame["ts"] == 20_000 - 19_900
+
+    def test_animation_duration(self):
+        events = to_chrome_trace(self.make_trace())
+        animation = next(e for e in events if e["name"].startswith("animation"))
+        assert animation["ts"] == 300
+        assert animation["dur"] == 1_700
+
+    def test_export_writes_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(self.make_trace(), str(path))
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == count
+        assert data["displayTimeUnit"] == "ms"
+
+    def test_tuples_become_lists(self):
+        events = to_chrome_trace(self.make_trace())
+        frame = next(e for e in events if e["name"] == "frame 1")
+        assert frame["args"]["uids"] == [1]
+
+    def test_complete_records_not_instants(self):
+        events = to_chrome_trace(self.make_trace())
+        assert not any(e["name"] == "input:complete" for e in events)
+
+
+class TestAsciiBars:
+    def test_basic_render(self):
+        chart = ascii_bars(["a", "bb"], [50.0, 100.0], width=10, max_value=100)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a ")
+        assert "#####" in lines[0]
+        assert "##########" in lines[1]
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert ascii_bars([], []) == "(no data)"
+
+    def test_values_above_max_clamped(self):
+        chart = ascii_bars(["x"], [200.0], width=10, max_value=100)
+        assert chart.count("#") == 10
+
+
+class TestCli:
+    def test_apps_command(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "todo" in out and "w3schools" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "todo", "--governor", "perf"]) == 0
+        out = capsys.readouterr().out
+        assert "energy:" in out
+        assert "QoS violations:" in out
+
+    def test_run_with_trace_export(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["run", "todo", "--export-trace", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["traceEvents"]
+
+    def test_autogreen_command(self, capsys):
+        assert main(["autogreen", "goo_ne_jp"]) == 0
+        out = capsys.readouterr().out
+        assert "ontouchstart-qos: continuous" in out
+
+    def test_figures_subset(self, capsys):
+        assert main(["figures", "--only", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_figures_fig9_single_app(self, capsys):
+        assert main(["figures", "--only", "fig9", "--apps", "todo"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out
+        assert "todo" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "netscape"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+
+class TestTaskSpans:
+    def test_task_spans_off_by_default(self):
+        from repro.hardware import WorkUnit, odroid_xu_e
+
+        platform = odroid_xu_e()
+        platform.create_context("w").submit(WorkUnit(1_000_000))
+        platform.run_for(10_000)
+        assert platform.trace.count(category="task") == 0
+
+    def test_task_spans_recorded_when_enabled(self):
+        from repro.hardware import WorkUnit, odroid_xu_e
+
+        platform = odroid_xu_e()
+        platform.record_task_spans = True
+        ctx = platform.create_context("worker")
+        ctx.submit(WorkUnit(1_800_000), label="crunch")
+        platform.run_for(10_000)
+        spans = platform.trace.filter(category="task", name="span")
+        assert len(spans) == 1
+        assert spans[0]["context"] == "worker"
+        assert spans[0]["label"] == "crunch"
+        assert spans[0]["duration_us"] == 1000
+
+    def test_spans_exported_on_own_tracks(self):
+        from repro.hardware import WorkUnit, odroid_xu_e
+
+        platform = odroid_xu_e()
+        platform.record_task_spans = True
+        platform.create_context("alpha").submit(WorkUnit(1_000_000), label="a")
+        platform.create_context("beta").submit(WorkUnit(1_000_000), label="b")
+        platform.run_for(10_000)
+        events = to_chrome_trace(platform.trace)
+        tracks = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert "thread: alpha" in tracks and "thread: beta" in tracks
+        names = [e["name"] for e in events if e["ph"] == "X"]
+        assert "a" in names and "b" in names
+
+    def test_cli_export_includes_task_spans(self, tmp_path):
+        import json
+
+        path = tmp_path / "spans.json"
+        assert main(["run", "todo", "--export-trace", str(path)]) == 0
+        data = json.loads(path.read_text())
+        track_names = {
+            e["args"]["name"] for e in data["traceEvents"] if e["ph"] == "M"
+        }
+        assert any(name.startswith("thread:") for name in track_names)

@@ -1,0 +1,118 @@
+"""Tests for GreenWeb on non-Exynos platform topologies (paper Sec. 10:
+the runtime design generalises to other hardware, including a single
+DVFS-capable cluster)."""
+
+import pytest
+
+from repro.browser import Browser, Page
+from repro.core import AnnotationRegistry, GreenWebRuntime, UsageScenario
+from repro.core.runtime import _Phase
+from repro.errors import RuntimeModelError
+from repro.hardware import CpuConfig, MobilePlatform
+from repro.hardware.core import ClusterSpec, big_cluster_spec, little_cluster_spec
+from repro.hardware.frequency import OperatingPoint, OppTable
+from repro.web import Callback, parse_html
+
+I = UsageScenario.IMPERCEPTIBLE
+
+MARKUP = "<style>#btn:QoS { onclick-qos: single, short; }</style><div id='btn'></div>"
+
+
+def single_cluster_platform() -> MobilePlatform:
+    """Sec. 10: "a single big (or little) core capable of DVFS"."""
+    return MobilePlatform(
+        cluster_specs=[big_cluster_spec()], record_power_intervals=False
+    )
+
+
+def tri_cluster_platform() -> MobilePlatform:
+    """A modern prime/big/little topology."""
+    prime = ClusterSpec(
+        name="prime", microarchitecture="X-class", core_count=1,
+        ipc_factor=1.4, ceff_nf=0.9, leakage_w_per_v=0.35,
+        opps=OppTable([OperatingPoint(f, 0.8 + f / 10_000) for f in (1500, 2000, 2500)]),
+    )
+    return MobilePlatform(
+        cluster_specs=[big_cluster_spec(), little_cluster_spec(), prime],
+        record_power_intervals=False,
+    )
+
+
+def run_taps(platform, count=4):
+    document, sheet = parse_html(MARKUP)
+    page = Page(name="t", document=document, stylesheet=sheet)
+    runtime = GreenWebRuntime(
+        platform, AnnotationRegistry.from_stylesheet(sheet), I
+    )
+    browser = Browser(platform, page, policy=runtime)
+    btn = document.get_element_by_id("btn")
+    btn.add_event_listener(
+        "click", Callback(lambda ctx: (ctx.do_work(800_000), ctx.mark_dirty(0.5)) and None)
+    )
+    records = []
+    for _ in range(count):
+        records.append(browser.dispatch_event("click", btn))
+        browser.run_until_quiescent()
+        platform.run_for(300_000)
+    return runtime, browser, records
+
+
+class TestSingleClusterPlatform:
+    def test_runtime_operates_with_dvfs_only(self):
+        platform = single_cluster_platform()
+        runtime, browser, msgs = run_taps(platform)
+        assert all(browser.tracker.record(m.uid).frame_count == 1 for m in msgs)
+        # Stable phase reached; prediction happens over big-only configs.
+        assert runtime.key_state_snapshot()["#btn@click"] == "stable"
+        assert runtime._profile_cluster == "big"
+        assert runtime._secondary_clusters == []
+        assert runtime.idle_config == CpuConfig("big", 800)
+
+    def test_stable_taps_run_below_peak(self):
+        platform = single_cluster_platform()
+        runtime, browser, msgs = run_taps(platform, count=5)
+        last = runtime._keys["#btn@click"].last_prediction
+        # A light tap against 100 ms fits far below 1.8 GHz.
+        assert last.config.freq_mhz < 1800
+        assert last.meets_target
+
+    def test_both_cluster_profiling_rejected(self):
+        platform = single_cluster_platform()
+        with pytest.raises(RuntimeModelError):
+            GreenWebRuntime(
+                platform, AnnotationRegistry(), I, profile_both_clusters=True
+            )
+
+
+class TestTriClusterPlatform:
+    def test_profile_cluster_is_fastest(self):
+        platform = tri_cluster_platform()
+        runtime = GreenWebRuntime(platform, AnnotationRegistry(), I)
+        assert runtime._profile_cluster == "prime"  # 1.4 * 2500 > 1.0 * 1800
+        assert set(runtime._cycle_factors) == {"big", "little"}
+
+    def test_all_cluster_models_derived(self):
+        platform = tri_cluster_platform()
+        runtime, browser, msgs = run_taps(platform)
+        state = runtime._keys["#btn@click"]
+        assert state.phase is _Phase.STABLE
+        for cluster in ("prime", "big", "little"):
+            assert state.models.has(cluster)
+
+    def test_config_space_spans_all_clusters(self):
+        platform = tri_cluster_platform()
+        assert len(platform.all_configs()) == 11 + 6 + 3
+
+    def test_taps_complete_and_predict(self):
+        platform = tri_cluster_platform()
+        runtime, browser, msgs = run_taps(platform, count=5)
+        assert runtime.stats.predictions >= 2
+        for msg in msgs:
+            assert browser.tracker.record(msg.uid).completed
+
+    def test_both_cluster_profiling_rejected_on_three(self):
+        platform = tri_cluster_platform()
+        with pytest.raises(RuntimeModelError):
+            GreenWebRuntime(
+                platform, AnnotationRegistry(), I, profile_both_clusters=True
+            )

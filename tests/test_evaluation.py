@@ -1,0 +1,232 @@
+"""Tests for evaluation metrics, the runner, and the session facade."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Session
+from repro.browser.frame_tracker import InputRecord
+from repro.browser.messages import InputMsg
+from repro.core.qos import QoSSpec, UsageScenario
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import (
+    config_residency,
+    event_violation_pct,
+    geo_mean_violation_pct,
+    mean_violation_pct,
+    switching_per_frame_pct,
+    violation_pct,
+    windowed_config_residency,
+)
+from repro.evaluation.runner import GOVERNORS, run_workload
+from repro.hardware.dvfs import CpuConfig
+from repro.sim.tracing import TraceLog
+from repro.web.events import EventType
+
+I = UsageScenario.IMPERCEPTIBLE
+U = UsageScenario.USABLE
+
+
+class TestViolationMetrics:
+    def test_paper_example(self):
+        """Sec. 7.2: 200 ms latency under a 100 ms target = 100%."""
+        assert violation_pct(200_000, 100_000) == 100.0
+
+    def test_no_violation_below_target(self):
+        assert violation_pct(99_000, 100_000) == 0.0
+
+    def test_invalid_target(self):
+        with pytest.raises(EvaluationError):
+            violation_pct(1, 0)
+
+    def test_geo_mean_all_zero(self):
+        assert geo_mean_violation_pct([10_000, 12_000], 100_000) == 0.0
+
+    def test_geo_mean_mixed(self):
+        # one frame at 2x target (100%), one at target (0%):
+        # geo-mean of factors (2.0, 1.0) = sqrt(2) -> 41.4%
+        value = geo_mean_violation_pct([200_000, 100_000], 100_000)
+        assert value == pytest.approx((math.sqrt(2) - 1) * 100, rel=1e-9)
+
+    def test_geo_mean_empty(self):
+        assert geo_mean_violation_pct([], 100_000) == 0.0
+
+    @given(st.lists(st.floats(min_value=1, max_value=1e6), min_size=1, max_size=20))
+    def test_property_geo_mean_bounded_by_max(self, latencies):
+        target = 50_000.0
+        geo = geo_mean_violation_pct(latencies, target)
+        worst = max(violation_pct(l, target) for l in latencies)
+        assert 0 <= geo <= worst + 1e-6
+
+    def test_event_violation_single_uses_first_frame(self):
+        msg = InputMsg(1, 0, EventType.CLICK)
+        record = InputRecord(msg=msg, frame_latencies_us=[150_000, 500_000])
+        spec = QoSSpec.single()  # (100, 300) ms
+        assert event_violation_pct(record, spec, I) == pytest.approx(50.0)
+        assert event_violation_pct(record, spec, U) == 0.0
+
+    def test_event_violation_continuous_uses_geo_mean(self):
+        msg = InputMsg(1, 0, EventType.TOUCHMOVE)
+        record = InputRecord(msg=msg, frame_latencies_us=[16_600, 33_200])
+        spec = QoSSpec.continuous()
+        value = event_violation_pct(record, spec, I)
+        assert 0 < value < 100
+
+    def test_event_violation_no_frames_is_none(self):
+        msg = InputMsg(1, 0, EventType.CLICK)
+        record = InputRecord(msg=msg)
+        assert event_violation_pct(record, QoSSpec.single(), I) is None
+
+    def test_mean_skips_none(self):
+        assert mean_violation_pct([None, 10.0, 20.0, None]) == 15.0
+        assert mean_violation_pct([None, None]) == 0.0
+
+
+class TestResidency:
+    def make_trace(self):
+        trace = TraceLog()
+        trace.emit(250, "config", "applied", cluster="little", freq_mhz=600)
+        trace.emit(750, "config", "applied", cluster="big", freq_mhz=800)
+        return trace
+
+    def test_config_residency_fractions(self):
+        residency = config_residency(
+            self.make_trace(), 0, 1000, initial=CpuConfig("big", 1800)
+        )
+        assert residency[CpuConfig("big", 1800)] == pytest.approx(0.25)
+        assert residency[CpuConfig("little", 600)] == pytest.approx(0.50)
+        assert residency[CpuConfig("big", 800)] == pytest.approx(0.25)
+        assert sum(residency.values()) == pytest.approx(1.0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(EvaluationError):
+            config_residency(TraceLog(), 10, 10, CpuConfig("big", 1800))
+
+    def test_windowed_residency(self):
+        residency = windowed_config_residency(
+            self.make_trace(), [(0, 100), (700, 800)], initial=CpuConfig("big", 1800)
+        )
+        # window 1 (0-100): big@1800; window 2: 700-750 little, 750-800 big@800
+        assert residency[CpuConfig("big", 1800)] == pytest.approx(0.5)
+        assert residency[CpuConfig("little", 600)] == pytest.approx(0.25)
+        assert residency[CpuConfig("big", 800)] == pytest.approx(0.25)
+
+    def test_windowed_residency_no_windows(self):
+        assert windowed_config_residency(TraceLog(), [], CpuConfig("big", 1800)) == {}
+
+    def test_switching_pct(self):
+        assert switching_per_frame_pct(5, 5, 50) == (10.0, 10.0)
+        assert switching_per_frame_pct(1, 1, 0) == (0.0, 0.0)
+
+
+class TestRunner:
+    def test_unknown_governor(self):
+        with pytest.raises(EvaluationError):
+            run_workload("todo", "quantum")
+
+    def test_unknown_trace_kind(self):
+        with pytest.raises(EvaluationError):
+            run_workload("todo", "perf", trace_kind="giant")
+
+    def test_run_produces_complete_result(self):
+        result = run_workload("todo", "perf", I, "micro")
+        assert result.inputs == 6
+        assert result.frames >= 6
+        assert result.energy_j > 0
+        assert result.active_energy_j > 0
+        assert result.active_energy_j < result.energy_j
+        assert len(result.event_violations_pct) == result.inputs
+        assert sum(result.config_residency.values()) == pytest.approx(1.0)
+
+    def test_determinism(self):
+        a = run_workload("todo", "greenweb", I, "micro", seed=3)
+        b = run_workload("todo", "greenweb", I, "micro", seed=3)
+        assert a.energy_j == b.energy_j
+        assert a.event_violations_pct == b.event_violations_pct
+
+    def test_greenweb_run_reports_runtime_stats(self):
+        result = run_workload("todo", "greenweb", I, "micro")
+        assert result.runtime_stats is not None
+        assert result.runtime_stats["inputs_seen"] == 6
+
+    def test_perf_run_has_no_runtime_stats(self):
+        assert run_workload("todo", "perf", I, "micro").runtime_stats is None
+
+    @pytest.mark.parametrize("governor", GOVERNORS)
+    def test_every_governor_runs(self, governor):
+        result = run_workload("todo", governor, I, "micro")
+        assert result.frames >= 1
+
+
+class TestHeadlineShapes:
+    """The paper's qualitative results must hold (DESIGN.md Sec. 4)."""
+
+    def test_greenweb_saves_energy_vs_perf(self):
+        perf = run_workload("cnet", "perf", I, "micro")
+        green = run_workload("cnet", "greenweb", I, "micro")
+        assert green.active_energy_j < 0.85 * perf.active_energy_j
+
+    def test_usable_saves_more_than_imperceptible_on_continuous(self):
+        green_i = run_workload("paperjs", "greenweb", I, "micro")
+        green_u = run_workload("paperjs", "greenweb", U, "micro")
+        assert green_u.active_energy_j < green_i.active_energy_j
+
+    def test_interactive_close_to_perf(self):
+        perf = run_workload("w3schools", "perf", I, "full")
+        inter = run_workload("w3schools", "interactive", I, "full")
+        assert inter.active_energy_j > 0.85 * perf.active_energy_j
+
+    def test_imperceptible_biases_big_vs_usable(self):
+        green_i = run_workload("w3schools", "greenweb", I, "full")
+        green_u = run_workload("w3schools", "greenweb", U, "full")
+        big_i = sum(v for c, v in green_i.active_config_residency.items() if c.cluster == "big")
+        big_u = sum(v for c, v in green_u.active_config_residency.items() if c.cluster == "big")
+        assert big_i > big_u
+
+    def test_msn_profiling_causes_single_violations(self):
+        """Sec. 7.2: MSN's minimum-frequency profiling run violates."""
+        green = run_workload("msn", "greenweb", I, "micro")
+        perf = run_workload("msn", "perf", I, "micro")
+        assert green.mean_violation_pct > perf.mean_violation_pct
+
+    def test_continuous_violations_amortized(self):
+        """Sec. 7.2: continuous events amortize profiling overhead."""
+        green = run_workload("paperjs", "greenweb", I, "micro")
+        perf = run_workload("paperjs", "perf", I, "micro")
+        assert green.mean_violation_pct - perf.mean_violation_pct < 1.0
+
+
+class TestSession:
+    def test_for_application_runs(self):
+        session = Session.for_application("todo", governor="greenweb",
+                                          scenario="imperceptible")
+        result = session.run_micro_interaction()
+        assert result.app == "todo"
+        assert result.governor == "greenweb"
+
+    def test_scenario_strings(self):
+        session = Session.for_application("todo", scenario="usable")
+        assert session.scenario is U
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(EvaluationError):
+            Session.for_application("netscape")
+
+    def test_unknown_governor_rejected(self):
+        with pytest.raises(EvaluationError):
+            Session("todo", governor="warp")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(EvaluationError):
+            Session("todo", scenario="ludicrous")
+
+    def test_for_page_assembles_stack(self):
+        from repro.browser.page import Page
+        from repro.web.dom import Document
+
+        page = Page(name="custom", document=Document())
+        platform, browser, policy = Session.for_page(page, governor="perf")
+        assert browser.page is page
+        platform.run_for(1_000)
+        assert platform.config == CpuConfig("big", 1800)

@@ -1,0 +1,355 @@
+"""Tests for the work model, power model, execution, DVFS, and energy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HardwareError
+from repro.hardware import (
+    CpuConfig,
+    MobilePlatform,
+    PowerModel,
+    WorkUnit,
+    odroid_xu_e,
+)
+from repro.hardware.core import big_cluster_spec, little_cluster_spec
+from repro.hardware.dvfs import FREQ_SWITCH_OVERHEAD_US, MIGRATION_OVERHEAD_US
+
+
+class TestWorkUnit:
+    def test_duration_formula(self):
+        # 1600 ref-cycles at 800 MHz, IPC 1.0 -> 2 us, plus 3 us fixed.
+        work = WorkUnit(cycles=1600, fixed_us=3.0)
+        assert work.duration_us(1.0, 800) == pytest.approx(5.0)
+
+    def test_ipc_penalty(self):
+        work = WorkUnit(cycles=900)
+        # little (IPC 0.5) at 600 MHz: 900 / (0.5*600) us
+        assert work.duration_us(0.5, 600) == pytest.approx(3.0)
+
+    def test_scaling(self):
+        work = WorkUnit(cycles=100, fixed_us=10)
+        half = work.scaled(0.5)
+        assert half.cycles == 50
+        assert half.fixed_us == 5
+
+    def test_scale_out_of_range_rejected(self):
+        with pytest.raises(HardwareError):
+            WorkUnit(10).scaled(1.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(HardwareError):
+            WorkUnit(-1)
+        with pytest.raises(HardwareError):
+            WorkUnit(1, fixed_us=-2)
+
+    def test_addition(self):
+        total = WorkUnit(10, 1) + WorkUnit(20, 2)
+        assert total.cycles == 30
+        assert total.fixed_us == 3
+
+    def test_is_empty(self):
+        assert WorkUnit(0, 0).is_empty
+        assert not WorkUnit(1, 0).is_empty
+
+    @given(
+        st.floats(min_value=0, max_value=1e9),
+        st.floats(min_value=0, max_value=1e6),
+        st.sampled_from([350, 600, 800, 1800]),
+    )
+    def test_property_duration_positive_and_monotonic_in_freq(self, cycles, fixed, freq):
+        work = WorkUnit(cycles, fixed)
+        slow = work.duration_us(1.0, freq)
+        fast = work.duration_us(1.0, freq * 2)
+        assert slow >= fast >= fixed
+
+
+class TestPowerModel:
+    def test_big_max_power_magnitude(self):
+        spec = big_cluster_spec()
+        model = PowerModel()
+        dyn = model.core_dynamic_w(spec, spec.opps.max)
+        # Calibration target: ~1.5 W for one busy A15 at 1.8 GHz.
+        assert 1.2 < dyn < 1.8
+
+    def test_little_max_power_magnitude(self):
+        spec = little_cluster_spec()
+        model = PowerModel()
+        dyn = model.core_dynamic_w(spec, spec.opps.max)
+        assert 0.05 < dyn < 0.2
+
+    def test_dynamic_power_monotonic_in_frequency(self):
+        spec = big_cluster_spec()
+        model = PowerModel()
+        powers = [model.core_dynamic_w(spec, p) for p in spec.opps]
+        assert powers == sorted(powers)
+
+    def test_unpowered_cluster_draws_nothing(self):
+        spec = big_cluster_spec()
+        model = PowerModel()
+        assert model.cluster_power_w(spec, spec.opps.max, busy_cores=2, powered=False) == 0
+
+    def test_idle_cluster_pays_wfi_fraction_of_leakage(self):
+        spec = big_cluster_spec()
+        model = PowerModel()
+        idle = model.cluster_power_w(spec, spec.opps.max, busy_cores=0, powered=True)
+        full_leak = model.cluster_static_w(spec, spec.opps.max)
+        assert idle == pytest.approx(full_leak * model.wfi_idle_factor)
+        assert idle < full_leak
+
+    def test_tradeoff_space_little_beats_big_max_energy(self):
+        """The energy-per-work ordering that makes the runtime's choice
+        meaningful: little max is cheaper per unit work than big max."""
+        model = PowerModel()
+        big, little = big_cluster_spec(), little_cluster_spec()
+        e_big_max = model.energy_per_mcycle_uj(big, big.opps.max)
+        e_little_max = model.energy_per_mcycle_uj(little, little.opps.max)
+        assert e_little_max < 0.75 * e_big_max
+
+    def test_busy_cores_clamped_to_cluster_size(self):
+        spec = little_cluster_spec()
+        model = PowerModel()
+        at_4 = model.cluster_power_w(spec, spec.opps.max, busy_cores=4, powered=True)
+        at_9 = model.cluster_power_w(spec, spec.opps.max, busy_cores=9, powered=True)
+        assert at_4 == at_9
+
+
+class TestPlatformBasics:
+    def test_default_initial_config_is_big_max(self):
+        platform = odroid_xu_e()
+        assert platform.config == CpuConfig("big", 1800)
+
+    def test_inactive_cluster_gated(self):
+        platform = odroid_xu_e()
+        assert not platform.cluster("little").powered
+        assert platform.cluster("big").powered
+
+    def test_all_configs_count(self):
+        # 6 little + 11 big = 17 configurations.
+        assert len(odroid_xu_e().all_configs()) == 17
+
+    def test_all_configs_ordered_little_first(self):
+        configs = odroid_xu_e().all_configs()
+        assert configs[0] == CpuConfig("little", 350)
+        assert configs[-1] == CpuConfig("big", 1800)
+
+    def test_unknown_cluster_rejected(self):
+        with pytest.raises(HardwareError):
+            odroid_xu_e().cluster("medium")
+
+    def test_context_cap(self):
+        platform = odroid_xu_e()
+        for i in range(4):
+            platform.create_context(f"t{i}")
+        with pytest.raises(HardwareError):
+            platform.create_context("t4")
+
+
+class TestExecution:
+    def test_task_duration_at_big_max(self):
+        platform = odroid_xu_e()
+        ctx = platform.create_context("main")
+        done = []
+        # 18000 ref-cycles at 1800 MHz = 10 us.
+        ctx.submit(WorkUnit(cycles=18_000), on_complete=lambda t: done.append(platform.kernel.now_us))
+        platform.run_for(100)
+        assert done == [10]
+
+    def test_fifo_ordering(self):
+        platform = odroid_xu_e()
+        ctx = platform.create_context("main")
+        order = []
+        ctx.submit(WorkUnit(cycles=18_000), on_complete=lambda t: order.append("a"))
+        ctx.submit(WorkUnit(cycles=18_000), on_complete=lambda t: order.append("b"))
+        platform.run_for(100)
+        assert order == ["a", "b"]
+
+    def test_queueing_delay_recorded(self):
+        platform = odroid_xu_e()
+        ctx = platform.create_context("main")
+        first = ctx.submit(WorkUnit(cycles=18_000))
+        second = ctx.submit(WorkUnit(cycles=18_000))
+        platform.run_for(100)
+        assert first.queueing_delay_us == 0
+        assert second.queueing_delay_us == 10
+
+    def test_zero_work_completes(self):
+        platform = odroid_xu_e()
+        ctx = platform.create_context("main")
+        done = []
+        ctx.submit(WorkUnit(0, 0), on_complete=lambda t: done.append(True))
+        platform.run_for(1)
+        assert done == [True]
+
+    def test_two_contexts_run_in_parallel(self):
+        platform = odroid_xu_e()
+        main = platform.create_context("main")
+        compositor = platform.create_context("compositor")
+        done = {}
+        main.submit(WorkUnit(cycles=18_000), on_complete=lambda t: done.setdefault("m", platform.kernel.now_us))
+        compositor.submit(WorkUnit(cycles=18_000), on_complete=lambda t: done.setdefault("c", platform.kernel.now_us))
+        platform.run_for(100)
+        assert done == {"m": 10, "c": 10}
+
+    def test_fixed_time_not_scaled_by_frequency(self):
+        fast = odroid_xu_e(initial_config=CpuConfig("big", 1800))
+        slow = odroid_xu_e(initial_config=CpuConfig("big", 800))
+        for platform in (fast, slow):
+            ctx = platform.create_context("main")
+            ctx.submit(WorkUnit(cycles=0, fixed_us=50))
+            platform.run_for(100)
+        # Same fixed time regardless of frequency: both finish at 50 us.
+        assert fast.kernel.events_fired == slow.kernel.events_fired
+
+
+class TestDvfs:
+    def test_freq_switch_counts_and_overhead(self):
+        platform = odroid_xu_e()
+        assert platform.set_config(CpuConfig("big", 1000)) is True
+        platform.run_for(FREQ_SWITCH_OVERHEAD_US + 1)
+        assert platform.config == CpuConfig("big", 1000)
+        assert platform.dvfs.freq_switches == 1
+        assert platform.dvfs.migrations == 0
+
+    def test_migration_counts(self):
+        platform = odroid_xu_e()
+        platform.set_config(CpuConfig("little", 600))
+        platform.run_for(MIGRATION_OVERHEAD_US + 1)
+        assert platform.config == CpuConfig("little", 600)
+        assert platform.dvfs.migrations == 1
+        assert platform.cluster("big").powered is False
+        assert platform.cluster("little").powered is True
+
+    def test_noop_request_returns_false(self):
+        platform = odroid_xu_e()
+        assert platform.set_config(platform.config) is False
+        assert platform.dvfs.switch_count == 0
+
+    def test_config_not_applied_before_overhead(self):
+        platform = odroid_xu_e()
+        platform.set_config(CpuConfig("big", 900))
+        platform.run_for(FREQ_SWITCH_OVERHEAD_US - 10)
+        assert platform.config.freq_mhz == 1800
+
+    def test_running_task_slows_down_after_downswitch(self):
+        """A task interrupted by a down-switch takes longer overall."""
+        platform = odroid_xu_e()
+        ctx = platform.create_context("main")
+        done = []
+        # 1.8M ref-cycles: 1000 us at 1800 MHz, 2250 us at 800 MHz.
+        ctx.submit(WorkUnit(cycles=1_800_000), on_complete=lambda t: done.append(platform.kernel.now_us))
+        platform.run_for(500)  # halfway through at 1800 MHz
+        platform.set_config(CpuConfig("big", 800))
+        platform.run_for(10_000)
+        # Remaining 0.9M cycles at 800 MHz = 1125 us, plus 100 us stall:
+        # completion at 500 + 100 + 1125 = 1725 us.
+        assert done == [1725]
+
+    def test_migration_mid_task_rescales_remaining_work(self):
+        platform = odroid_xu_e()
+        ctx = platform.create_context("main")
+        done = []
+        ctx.submit(WorkUnit(cycles=1_800_000), on_complete=lambda t: done.append(platform.kernel.now_us))
+        platform.run_for(900)  # 90% done at 1800 MHz
+        platform.set_config(CpuConfig("little", 600))
+        platform.run_for(10_000)
+        # Remaining 0.18M ref-cycles on little@600: 180000/(0.5*600) = 600 us
+        # after a 20 us stall -> completes at 900 + 20 + 600 = 1520.
+        assert done and abs(done[0] - 1520) <= 1
+
+    def test_coalesced_request_mid_switch(self):
+        platform = odroid_xu_e()
+        platform.set_config(CpuConfig("big", 1000))
+        platform.kernel.run_for(10)
+        platform.set_config(CpuConfig("big", 1200))  # retarget in flight
+        platform.run_for(FREQ_SWITCH_OVERHEAD_US)
+        assert platform.config == CpuConfig("big", 1200)
+        assert platform.dvfs.freq_switches == 1  # coalesced
+
+    def test_trace_records_switches(self):
+        platform = odroid_xu_e()
+        platform.set_config(CpuConfig("little", 400))
+        platform.run_for(100)
+        assert platform.trace.count(category="dvfs", name="migrate") == 1
+
+
+class TestEnergy:
+    def test_idle_energy_is_wfi_leakage_plus_floor(self):
+        platform = odroid_xu_e()
+        platform.run_for(1_000_000)  # one second fully idle
+        model = platform.power_model
+        expected = (
+            model.cluster_static_w(
+                platform.cluster("big").spec, platform.cluster("big").opp
+            )
+            * model.wfi_idle_factor
+            + model.deep_idle_w
+        )
+        assert platform.meter.total_j == pytest.approx(expected, rel=1e-6)
+
+    def test_busy_energy_includes_dynamic(self):
+        platform = odroid_xu_e()
+        ctx = platform.create_context("main")
+        ctx.submit(WorkUnit(cycles=1_800_000))  # 1000 us busy
+        platform.run_for(1000)
+        spec = platform.cluster("big").spec
+        opp = platform.cluster("big").opp
+        expected = (
+            platform.power_model.core_dynamic_w(spec, opp)
+            + platform.power_model.cluster_static_w(spec, opp)
+            + platform.power_model.deep_idle_w
+        ) * 1e-3
+        assert platform.meter.total_j == pytest.approx(expected, rel=1e-6)
+
+    def test_little_cheaper_than_big_for_same_wall_time(self):
+        joules = {}
+        for cluster, freq in (("big", 1800), ("little", 600)):
+            platform = odroid_xu_e(initial_config=CpuConfig(cluster, freq))
+            ctx = platform.create_context("main")
+            ctx.submit(WorkUnit(cycles=100_000))
+            platform.run_for(10_000)
+            joules[cluster] = platform.meter.total_j
+        assert joules["little"] < joules["big"] * 0.6
+
+    def test_marks(self):
+        platform = odroid_xu_e()
+        platform.run_for(1000)
+        platform.meter.mark("start", platform.kernel.now_us)
+        platform.run_for(1000)
+        window = platform.meter.since_mark("start", platform.kernel.now_us)
+        assert window == pytest.approx(platform.meter.total_j / 2, rel=1e-6)
+
+    def test_sample_trace_1khz(self):
+        platform = odroid_xu_e()
+        ctx = platform.create_context("main")
+        ctx.submit(WorkUnit(cycles=9_000_000))  # busy 5 ms
+        platform.run_for(10_000)  # 10 ms total
+        samples = platform.meter.sample_trace(period_us=1_000)
+        assert len(samples) == 10
+        busy_power = samples[0][1]
+        idle_power = samples[-1][1]
+        assert busy_power > idle_power
+
+    def test_unknown_mark_raises(self):
+        platform = odroid_xu_e()
+        with pytest.raises(HardwareError):
+            platform.meter.since_mark("nope")
+
+
+class TestUtilization:
+    def test_busy_integral_tracks_work(self):
+        platform = odroid_xu_e()
+        ctx = platform.create_context("main")
+        ctx.submit(WorkUnit(cycles=1_800_000))  # 1000 us busy
+        platform.run_for(2_000)
+        busy_ctx_us, any_busy_us = platform.utilization_snapshot()
+        assert busy_ctx_us == pytest.approx(1000, abs=1)
+        assert any_busy_us == pytest.approx(1000, abs=1)
+
+    def test_parallel_contexts_double_busy_integral(self):
+        platform = odroid_xu_e()
+        for name in ("a", "b"):
+            platform.create_context(name).submit(WorkUnit(cycles=1_800_000))
+        platform.run_for(2_000)
+        busy_ctx_us, any_busy_us = platform.utilization_snapshot()
+        assert busy_ctx_us == pytest.approx(2000, abs=2)
+        assert any_busy_us == pytest.approx(1000, abs=1)

@@ -1,0 +1,92 @@
+"""Regression guard: the EXPERIMENTS.md headline numbers.
+
+These are the reproduction's load-bearing results; if a refactor moves
+them outside the recorded envelopes, this test fails before the
+benchmarks would.  Envelopes are deliberately loose (the exact values
+are seed- and calibration-dependent) but tight enough to catch a
+broken runtime, governor, or power model.
+"""
+
+import statistics
+
+import pytest
+
+from repro.evaluation.experiments import (
+    run_fig9_microbenchmarks,
+    run_fig10_full_interactions,
+    run_fig11_distribution,
+    run_fig12_switching,
+)
+
+
+@pytest.fixture(scope="module")
+def fig9_rows():
+    return run_fig9_microbenchmarks()
+
+
+@pytest.fixture(scope="module")
+def fig10_rows():
+    return run_fig10_full_interactions()
+
+
+class TestFig9Headlines:
+    def test_mean_savings(self, fig9_rows):
+        saving_i = 100 - statistics.mean(r.greenweb_i_energy_norm_pct for r in fig9_rows)
+        saving_u = 100 - statistics.mean(r.greenweb_u_energy_norm_pct for r in fig9_rows)
+        assert 25 <= saving_i <= 60  # paper: 31.9
+        assert 45 <= saving_u <= 80  # paper: 78.0
+        assert saving_u > saving_i
+
+    def test_mean_added_violations(self, fig9_rows):
+        viol_i = statistics.mean(r.greenweb_i_added_violation_pct for r in fig9_rows)
+        viol_u = statistics.mean(r.greenweb_u_added_violation_pct for r in fig9_rows)
+        assert viol_i < 8.0  # paper: 1.3
+        assert viol_u < 5.0  # paper: 1.2
+
+    def test_violation_outlier_trio(self, fig9_rows):
+        by_app = {r.app: r for r in fig9_rows}
+        trio_max = max(
+            by_app[a].greenweb_i_added_violation_pct for a in ("msn", "lzma_js", "bbc")
+        )
+        quiet_max = max(
+            by_app[a].greenweb_i_added_violation_pct
+            for a in ("todo", "camanjs", "google")
+        )
+        assert trio_max > quiet_max
+
+
+class TestFig10Headlines:
+    def test_interactive_close_to_perf(self, fig10_rows):
+        mean = statistics.mean(r.interactive_energy_norm_pct for r in fig10_rows)
+        assert mean > 90.0
+
+    def test_savings_vs_interactive(self, fig10_rows):
+        saving_i = statistics.mean(
+            r.greenweb_i_saving_vs_interactive_pct for r in fig10_rows
+        )
+        saving_u = statistics.mean(
+            r.greenweb_u_saving_vs_interactive_pct for r in fig10_rows
+        )
+        assert 25 <= saving_i <= 65  # paper: 29.2
+        assert 45 <= saving_u <= 80  # paper: 66.0
+        assert saving_u > saving_i
+
+    def test_full_violations_amortized_below_micro(self, fig10_rows):
+        viol_i = statistics.mean(r.greenweb_i_added_violation_pct for r in fig10_rows)
+        assert viol_i < 5.0  # paper: 0.8
+
+
+class TestFig11Fig12Headlines:
+    def test_big_bias_contrast(self, fig10_rows):
+        rows = run_fig11_distribution(fig10_rows=fig10_rows)
+        big_i = statistics.mean(r.big_fraction_i for r in rows)
+        big_u = statistics.mean(r.big_fraction_u for r in rows)
+        assert big_i > 1.8 * big_u
+        assert big_i > 0.30
+
+    def test_switching_modest(self, fig10_rows):
+        rows = run_fig12_switching(fig10_rows=fig10_rows)
+        mean_i = statistics.mean(r.total_i for r in rows)
+        mean_u = statistics.mean(r.total_u for r in rows)
+        assert mean_i < 60.0  # paper: ~20
+        assert mean_u < 60.0

@@ -1,0 +1,177 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchedulingError
+from repro.sim import Kernel
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Kernel().now_us == 0
+
+    def test_custom_start_time(self):
+        assert Kernel(start_time_us=500).now_us == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SchedulingError):
+            Kernel(start_time_us=-1)
+
+    def test_schedule_in_past_rejected(self):
+        kernel = Kernel(start_time_us=100)
+        with pytest.raises(SchedulingError):
+            kernel.schedule_at(50, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Kernel().schedule_in(-1, lambda: None)
+
+    def test_event_fires_at_scheduled_time(self):
+        kernel = Kernel()
+        fired_at = []
+        kernel.schedule_at(42, lambda: fired_at.append(kernel.now_us))
+        kernel.run_until(100)
+        assert fired_at == [42]
+        assert kernel.now_us == 100
+
+    def test_zero_delay_event_fires(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule_in(0, lambda: fired.append(True))
+        kernel.step()
+        assert fired == [True]
+
+
+class TestOrdering:
+    def test_same_timestamp_fires_in_insertion_order(self):
+        kernel = Kernel()
+        order = []
+        kernel.schedule_at(10, lambda: order.append("a"))
+        kernel.schedule_at(10, lambda: order.append("b"))
+        kernel.schedule_at(10, lambda: order.append("c"))
+        kernel.run_until(10)
+        assert order == ["a", "b", "c"]
+
+    def test_events_fire_in_time_order_regardless_of_insertion(self):
+        kernel = Kernel()
+        order = []
+        kernel.schedule_at(30, lambda: order.append(30))
+        kernel.schedule_at(10, lambda: order.append(10))
+        kernel.schedule_at(20, lambda: order.append(20))
+        kernel.run_until(30)
+        assert order == [10, 20, 30]
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
+    def test_property_fire_times_are_sorted(self, times):
+        kernel = Kernel()
+        seen = []
+        for t in times:
+            kernel.schedule_at(t, (lambda tt: lambda: seen.append(tt))(t))
+        kernel.run_until(10_000)
+        assert seen == sorted(times)
+
+    def test_actions_scheduling_actions_within_window(self):
+        kernel = Kernel()
+        hits = []
+
+        def first():
+            hits.append(kernel.now_us)
+            kernel.schedule_in(5, lambda: hits.append(kernel.now_us))
+
+        kernel.schedule_at(10, first)
+        kernel.run_until(100)
+        assert hits == [10, 15]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        kernel = Kernel()
+        fired = []
+        handle = kernel.schedule_at(10, lambda: fired.append(True))
+        handle.cancel()
+        kernel.run_until(20)
+        assert fired == []
+        assert handle.cancelled
+        assert not handle.fired
+
+    def test_pending_transitions(self):
+        kernel = Kernel()
+        handle = kernel.schedule_at(10, lambda: None)
+        assert handle.pending
+        kernel.run_until(10)
+        assert handle.fired
+        assert not handle.pending
+
+    def test_cancel_from_another_action(self):
+        kernel = Kernel()
+        fired = []
+        victim = kernel.schedule_at(20, lambda: fired.append("victim"))
+        kernel.schedule_at(10, victim.cancel)
+        kernel.run_until(30)
+        assert fired == []
+
+
+class TestRunControl:
+    def test_run_until_rejects_past_deadline(self):
+        kernel = Kernel(start_time_us=100)
+        with pytest.raises(SchedulingError):
+            kernel.run_until(50)
+
+    def test_run_for_advances_clock(self):
+        kernel = Kernel()
+        kernel.run_for(1234)
+        assert kernel.now_us == 1234
+
+    def test_step_returns_false_on_empty(self):
+        assert Kernel().step() is False
+
+    def test_drain_runs_everything(self):
+        kernel = Kernel()
+        hits = []
+        for t in (5, 15, 25):
+            kernel.schedule_at(t, (lambda tt: lambda: hits.append(tt))(t))
+        fired = kernel.drain()
+        assert fired == 3
+        assert hits == [5, 15, 25]
+
+    def test_drain_detects_runaway(self):
+        kernel = Kernel()
+
+        def rearm():
+            kernel.schedule_in(1, rearm)
+
+        kernel.schedule_in(1, rearm)
+        with pytest.raises(SchedulingError):
+            kernel.drain(max_events=100)
+
+    def test_not_reentrant(self):
+        kernel = Kernel()
+        errors = []
+
+        def bad():
+            try:
+                kernel.run_until(kernel.now_us + 10)
+            except SchedulingError as exc:
+                errors.append(exc)
+
+        kernel.schedule_at(5, bad)
+        kernel.run_until(10)
+        assert len(errors) == 1
+
+    def test_events_beyond_deadline_stay_queued(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule_at(50, lambda: fired.append(50))
+        kernel.run_until(40)
+        assert fired == []
+        assert kernel.pending_count == 1
+        kernel.run_until(60)
+        assert fired == [50]
+
+    def test_events_fired_counter(self):
+        kernel = Kernel()
+        for t in range(5):
+            kernel.schedule_at(t, lambda: None)
+        kernel.run_until(10)
+        assert kernel.events_fired == 5

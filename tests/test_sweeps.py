@@ -1,0 +1,103 @@
+"""Tests for the sweep utilities."""
+
+import csv
+
+import pytest
+
+from repro.core.qos import UsageScenario
+from repro.errors import EvaluationError
+from repro.evaluation.sweeps import (
+    CSV_COLUMNS,
+    SweepSpec,
+    result_row,
+    run_sweep,
+    seed_variation,
+    write_csv,
+)
+
+
+class TestSweepSpec:
+    def test_cell_count(self):
+        spec = SweepSpec(apps=("todo",), governors=("perf", "greenweb"),
+                         seeds=(0, 1))
+        assert spec.cell_count == 2 * 2 * 2  # governors x scenarios x seeds
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(EvaluationError):
+            SweepSpec(apps=("netscape",))
+
+    def test_unknown_governor_rejected(self):
+        with pytest.raises(EvaluationError):
+            SweepSpec(governors=("warp",))
+
+
+class TestRunSweep:
+    def test_grid_and_progress(self):
+        spec = SweepSpec(
+            apps=("todo",),
+            governors=("perf",),
+            scenarios=(UsageScenario.IMPERCEPTIBLE,),
+            seeds=(0, 1),
+        )
+        ticks = []
+        results = run_sweep(spec, progress=lambda done, total: ticks.append((done, total)))
+        assert len(results) == 2
+        assert ticks == [(1, 2), (2, 2)]
+        assert {r.app for r in results} == {"todo"}
+
+    def test_csv_round_trip(self, tmp_path):
+        spec = SweepSpec(
+            apps=("todo",),
+            governors=("perf", "greenweb"),
+            scenarios=(UsageScenario.IMPERCEPTIBLE,),
+        )
+        results = run_sweep(spec)
+        path = tmp_path / "sweep.csv"
+        count = write_csv(results, str(path))
+        assert count == 2
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert set(rows[0]) == set(CSV_COLUMNS)
+        assert {row["governor"] for row in rows} == {"perf", "greenweb"}
+        assert float(rows[0]["energy_j"]) > 0
+
+    def test_result_row_is_flat_scalars(self):
+        spec = SweepSpec(apps=("todo",), governors=("perf",),
+                         scenarios=(UsageScenario.IMPERCEPTIBLE,))
+        row = result_row(run_sweep(spec)[0])
+        assert all(isinstance(v, (str, int, float)) for v in row.values())
+
+
+class TestSeedVariation:
+    def test_summary(self):
+        variation = seed_variation("todo", seeds=(0, 1))
+        assert len(variation.energies_j) == 2
+        assert variation.energy_median_j > 0
+        assert variation.energy_rel_spread_pct >= 0
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(EvaluationError):
+            seed_variation("todo", seeds=(0,))
+
+
+class TestTargetSweep:
+    def test_unknown_app_rejected(self):
+        from repro.evaluation.target_sweep import run_target_sweep
+
+        with pytest.raises(EvaluationError):
+            run_target_sweep("todo")  # single-frame app: not sweepable
+
+    def test_invalid_target_rejected(self):
+        from repro.evaluation.target_sweep import run_target_sweep
+
+        with pytest.raises(EvaluationError):
+            run_target_sweep("cnet", targets_ms=(0,))
+
+    def test_two_point_sweep_orders_energy(self):
+        from repro.evaluation.target_sweep import run_target_sweep
+
+        tight, loose = run_target_sweep("goo_ne_jp", targets_ms=(12.0, 60.0))
+        assert tight.target_ms == 12.0
+        assert loose.active_energy_j < tight.active_energy_j
+        assert loose.big_share <= tight.big_share

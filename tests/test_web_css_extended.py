@@ -1,0 +1,173 @@
+"""Tests for the extended CSS features: attribute selectors, :not(),
+sibling combinators, and at-rule skipping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CssSyntaxError, SelectorError
+from repro.web import Document
+from repro.web.css import parse_selector, parse_stylesheet
+
+
+def sibling_fixture():
+    doc = Document()
+    parent = doc.create_element("ul")
+    first = doc.create_element("li", element_id="first", parent=parent)
+    second = doc.create_element("li", element_id="second", parent=parent)
+    third = doc.create_element("li", element_id="third", classes={"sel"}, parent=parent)
+    return doc, first, second, third
+
+
+class TestAttributeSelectors:
+    def make(self, **attrs):
+        doc = Document()
+        return doc.create_element("a", attributes=attrs)
+
+    def test_presence(self):
+        assert parse_selector("a[href]").matches(self.make(href="/x"))
+        assert not parse_selector("a[href]").matches(self.make(title="t"))
+
+    def test_exact(self):
+        element = self.make(role="nav")
+        assert parse_selector("[role=nav]").matches(element)
+        assert not parse_selector("[role=main]").matches(element)
+
+    def test_exact_with_string_value(self):
+        element = self.make(title="hello world")
+        assert parse_selector("[title='hello world']").matches(element)
+
+    def test_prefix_suffix_substring(self):
+        element = self.make(href="https://example.com/page.html")
+        assert parse_selector("[href^=https]").matches(element)
+        assert parse_selector("[href$='.html']").matches(element)
+        assert parse_selector("[href*='example.com']").matches(element)
+        assert not parse_selector("[href^=ftp]").matches(element)
+
+    def test_word_list(self):
+        element = self.make(rel="noopener noreferrer")
+        assert parse_selector("[rel~=noopener]").matches(element)
+        assert not parse_selector("[rel~=noop]").matches(element)
+
+    def test_id_and_class_attribute_names(self):
+        doc = Document()
+        element = doc.create_element("div", element_id="x", classes={"a", "b"})
+        assert parse_selector("[id=x]").matches(element)
+        assert parse_selector("[class~=a]").matches(element)
+
+    def test_specificity_counts_like_class(self):
+        assert parse_selector("a[href]").specificity() == (0, 1, 1)
+        assert parse_selector("[a][b=c]").specificity() == (0, 2, 0)
+
+    def test_malformed(self):
+        for bad in ("[", "[=x]", "[a^x]", "[a=]", "[a"):
+            with pytest.raises((SelectorError, CssSyntaxError)):
+                parse_selector(bad)
+
+    def test_in_stylesheet_rule(self):
+        sheet = parse_stylesheet("a[target=blank]:QoS { onclick-qos: single, short; }")
+        assert sheet.rules[0].is_greenweb
+
+
+class TestNotPseudoClass:
+    def test_not_excludes(self):
+        doc = Document()
+        plain = doc.create_element("div")
+        fancy = doc.create_element("div", classes={"fancy"})
+        selector = parse_selector("div:not(.fancy)")
+        assert selector.matches(plain)
+        assert not selector.matches(fancy)
+
+    def test_not_with_tag(self):
+        doc = Document()
+        div = doc.create_element("div")
+        span = doc.create_element("span")
+        selector = parse_selector(":not(span)")
+        assert selector.matches(div)
+        assert not selector.matches(span)
+
+    def test_not_specificity_is_arguments(self):
+        assert parse_selector("div:not(.x)").specificity() == (0, 1, 1)
+        assert parse_selector("div:not(#y)").specificity() == (1, 0, 1)
+
+    def test_unclosed_not(self):
+        with pytest.raises((SelectorError, CssSyntaxError)):
+            parse_selector("div:not(.x")
+
+    def test_not_composes_with_qos(self):
+        selector = parse_selector("div:not(.ad):QoS")
+        assert selector.has_qos
+
+
+class TestSiblingCombinators:
+    def test_adjacent(self):
+        _doc, first, second, third = sibling_fixture()
+        assert parse_selector("#first + li").matches(second)
+        assert not parse_selector("#first + li").matches(third)
+
+    def test_general(self):
+        _doc, first, second, third = sibling_fixture()
+        assert parse_selector("#first ~ li").matches(second)
+        assert parse_selector("#first ~ li").matches(third)
+        assert not parse_selector("#third ~ li").matches(first)
+
+    def test_chained(self):
+        _doc, first, second, third = sibling_fixture()
+        assert parse_selector("li + li + li.sel").matches(third)
+
+    def test_no_previous_sibling(self):
+        _doc, first, _second, _third = sibling_fixture()
+        assert not parse_selector("li + li").matches(first)
+
+    def test_dangling_combinator(self):
+        for bad in ("li +", "~ li", "li ~"):
+            with pytest.raises((SelectorError, CssSyntaxError)):
+                parse_selector(bad)
+
+    def test_str_roundtrip(self):
+        selector = parse_selector("#a + div.x ~ span")
+        reparsed = parse_selector(str(selector))
+        assert reparsed.specificity() == selector.specificity()
+        assert str(reparsed) == str(selector)
+
+
+class TestAtRules:
+    def test_media_block_skipped(self):
+        sheet = parse_stylesheet("""
+        @media (max-width: 600px) { div { color: red } }
+        p { color: blue }
+        """)
+        assert len(sheet) == 1
+        assert str(sheet.rules[0].selectors[0]) == "p"
+
+    def test_keyframes_skipped(self):
+        sheet = parse_stylesheet("""
+        @keyframes spin { 0% { left: 0 } 100% { left: 10px } }
+        .spinner { animation: spin 1s; }
+        """)
+        assert len(sheet) == 1
+
+    def test_statement_at_rule(self):
+        sheet = parse_stylesheet("@charset 'utf-8'; div { x: 1 }")
+        assert len(sheet) == 1
+
+    def test_unterminated_at_rule(self):
+        with pytest.raises(CssSyntaxError):
+            parse_stylesheet("@media screen { div { x: 1 }")
+
+    def test_greenweb_rules_inside_normal_flow_still_found(self):
+        sheet = parse_stylesheet("""
+        @media print { div { display: none } }
+        #a:QoS { onclick-qos: continuous; }
+        """)
+        assert len(sheet.greenweb_rules()) == 1
+
+
+@given(
+    attr=st.sampled_from(["href", "role", "data-x"]),
+    op=st.sampled_from(["=", "^=", "$=", "*=", "~="]),
+    value=st.text(alphabet="abcxyz123", min_size=1, max_size=8),
+)
+def test_property_attribute_selector_roundtrip(attr, op, value):
+    doc = Document()
+    element = doc.create_element("a", attributes={attr: value})
+    assert parse_selector(f"[{attr}{op}'{value}']").matches(element)

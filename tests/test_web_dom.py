@@ -1,0 +1,132 @@
+"""Tests for the DOM tree."""
+
+import pytest
+
+from repro.errors import DomError
+from repro.web import Document, Element
+from repro.web.script import Callback
+
+
+class TestElement:
+    def test_invalid_tag_rejected(self):
+        with pytest.raises(DomError):
+            Element("")
+        with pytest.raises(DomError):
+            Element("<div>")
+
+    def test_tag_lowercased(self):
+        assert Element("DIV").tag == "div"
+
+    def test_append_and_parent(self):
+        parent = Element("div")
+        child = Element("span")
+        parent.append_child(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_reparenting_moves_element(self):
+        a, b = Element("div"), Element("div")
+        child = Element("span")
+        a.append_child(child)
+        b.append_child(child)
+        assert a.children == []
+        assert child.parent is b
+
+    def test_cycle_rejected(self):
+        a = Element("div")
+        b = Element("div")
+        a.append_child(b)
+        with pytest.raises(DomError):
+            b.append_child(a)
+        with pytest.raises(DomError):
+            a.append_child(a)
+
+    def test_remove_child(self):
+        a, b = Element("div"), Element("span")
+        a.append_child(b)
+        a.remove_child(b)
+        assert b.parent is None
+        assert a.children == []
+
+    def test_remove_non_child_raises(self):
+        with pytest.raises(DomError):
+            Element("div").remove_child(Element("span"))
+
+    def test_ancestors_order(self):
+        root, mid, leaf = Element("html"), Element("div"), Element("span")
+        root.append_child(mid)
+        mid.append_child(leaf)
+        assert [e.tag for e in leaf.ancestors()] == ["div", "html"]
+
+    def test_descendants_preorder(self):
+        root = Element("div")
+        a = Element("p")
+        b = Element("span")
+        c = Element("em")
+        root.append_child(a)
+        a.append_child(b)
+        root.append_child(c)
+        assert [e.tag for e in root.descendants()] == ["p", "span", "em"]
+
+
+class TestListeners:
+    def test_add_and_query(self):
+        element = Element("button")
+        cb = Callback(lambda ctx: None, "tap")
+        element.add_event_listener("click", cb)
+        assert element.listeners("click") == [cb]
+        assert element.listened_event_types == ["click"]
+
+    def test_remove_listener(self):
+        element = Element("button")
+        cb = Callback(lambda ctx: None)
+        element.add_event_listener("click", cb)
+        element.remove_event_listener("click", cb)
+        assert element.listeners("click") == []
+
+    def test_remove_unregistered_raises(self):
+        with pytest.raises(DomError):
+            Element("button").remove_event_listener("click", Callback(lambda ctx: None))
+
+
+class TestDocument:
+    def test_create_element_attaches_to_root(self):
+        doc = Document()
+        div = doc.create_element("div", element_id="main")
+        assert div.parent is doc.root
+        assert doc.get_element_by_id("main") is div
+
+    def test_duplicate_id_rejected(self):
+        doc = Document()
+        doc.create_element("div", element_id="x")
+        with pytest.raises(DomError):
+            doc.create_element("span", element_id="x")
+
+    def test_nested_creation(self):
+        doc = Document()
+        outer = doc.create_element("div")
+        inner = doc.create_element("span", parent=outer)
+        assert inner.parent is outer
+        assert inner.document is doc
+
+    def test_element_count(self):
+        doc = Document()
+        doc.create_element("div")
+        doc.create_element("div")
+        assert doc.element_count() == 3  # root + 2
+
+    def test_query_selector_all(self):
+        doc = Document()
+        doc.create_element("div", classes={"item"})
+        doc.create_element("div", classes={"item", "sel"})
+        doc.create_element("p")
+        assert len(doc.query_selector_all("div.item")) == 2
+        assert doc.query_selector("div.sel").classes == {"item", "sel"}
+        assert doc.query_selector(".absent") is None
+
+    def test_matches(self):
+        doc = Document()
+        element = doc.create_element("div", element_id="intro", classes={"a"})
+        assert element.matches("div#intro.a")
+        assert element.matches("div#intro:QoS")
+        assert not element.matches("span")

@@ -1,0 +1,96 @@
+"""Property tests for the workload work-distribution helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.base import (
+    MCYCLES,
+    bimodal_mcycles,
+    lognormal_mcycles,
+    surge_complexity,
+)
+
+
+class TestLognormal:
+    @given(
+        mean=st.floats(min_value=1, max_value=5_000),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=50)
+    def test_property_positive_and_cycle_scaled(self, mean, seed):
+        rng = np.random.default_rng(seed)
+        draw = lognormal_mcycles(rng, mean)
+        assert draw > 0
+        # Result is in cycles, not Mcycles.
+        assert draw > mean  # mean Mcycles -> cycles is 1e6x larger
+
+    def test_mean_calibration(self):
+        rng = np.random.default_rng(0)
+        draws = [lognormal_mcycles(rng, 100.0, sigma=0.2) for _ in range(4_000)]
+        assert np.mean(draws) / MCYCLES == pytest.approx(100.0, rel=0.05)
+
+    def test_sigma_controls_spread(self):
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        tight = [lognormal_mcycles(rng_a, 100.0, sigma=0.05) for _ in range(2_000)]
+        wide = [lognormal_mcycles(rng_b, 100.0, sigma=0.5) for _ in range(2_000)]
+        assert np.std(tight) < np.std(wide)
+
+
+class TestBimodal:
+    def test_mixture_fractions(self):
+        rng = np.random.default_rng(2)
+        draws = [
+            bimodal_mcycles(rng, 100.0, 1_000.0, heavy_probability=0.2)
+            for _ in range(4_000)
+        ]
+        heavy = sum(1 for d in draws if d > 500 * MCYCLES)
+        assert 0.15 < heavy / len(draws) < 0.25
+
+    def test_zero_probability_is_all_light(self):
+        rng = np.random.default_rng(3)
+        draws = [
+            bimodal_mcycles(rng, 100.0, 1_000.0, heavy_probability=0.0)
+            for _ in range(200)
+        ]
+        assert all(d < 400 * MCYCLES for d in draws)
+
+    def test_unit_probability_is_all_heavy(self):
+        rng = np.random.default_rng(4)
+        draws = [
+            bimodal_mcycles(rng, 100.0, 1_000.0, heavy_probability=1.0)
+            for _ in range(200)
+        ]
+        assert all(d > 400 * MCYCLES for d in draws)
+
+
+class TestSurgeComplexity:
+    def test_no_surge_band(self):
+        rng = np.random.default_rng(5)
+        values = [
+            surge_complexity(rng, 1.0, surge_probability=0.0, surge_factor=4.0)
+            for _ in range(500)
+        ]
+        assert all(0.9 <= v <= 1.1 for v in values)
+
+    def test_surge_fraction(self):
+        rng = np.random.default_rng(6)
+        values = [
+            surge_complexity(rng, 1.0, surge_probability=0.25, surge_factor=4.0)
+            for _ in range(4_000)
+        ]
+        surged = sum(1 for v in values if v > 2.0)
+        assert 0.2 < surged / len(values) < 0.3
+
+    @given(
+        base=st.floats(min_value=0.1, max_value=5.0),
+        probability=st.floats(min_value=0, max_value=1),
+        factor=st.floats(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50)
+    def test_property_bounded(self, base, probability, factor, seed):
+        rng = np.random.default_rng(seed)
+        value = surge_complexity(rng, base, probability, factor)
+        assert 0 < value <= base * 1.1 * factor + 1e-9

@@ -1,0 +1,75 @@
+"""Tests for the per-app HTML documents."""
+
+import pytest
+
+from repro.web.html import parse_html
+from repro.workloads import APP_NAMES, build_app
+from repro.workloads.markup import APP_MARKUP
+
+#: interactive element ids each app's traces/callbacks rely on
+REQUIRED_IDS = {
+    "bbc": ("story-link", "misc-area"),
+    "google": ("search-box", "footer"),
+    "camanjs": ("filter-btn",),
+    "lzma_js": ("compress-btn",),
+    "msn": ("nav-item", "teaser"),
+    "todo": ("add-btn", "item-toggle"),
+    "amazon": ("feed", "sidebar", "reviews", "buy-btn"),
+    "craigslist": ("list", "post-link"),
+    "paperjs": ("canvas",),
+    "cnet": ("menu", "other"),
+    "goo_ne_jp": ("panel", "link"),
+    "w3schools": ("tryit", "nav"),
+}
+
+
+class TestMarkupDocuments:
+    def test_every_app_has_markup(self):
+        assert set(APP_MARKUP) == set(APP_NAMES)
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_markup_parses_standalone(self, name):
+        document, stylesheet = parse_html(APP_MARKUP[name]())
+        assert document.element_count() > 10
+        assert len(stylesheet) >= 3
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_interactive_ids_present(self, name):
+        bundle = build_app(name)
+        for element_id in REQUIRED_IDS[name]:
+            element = bundle.page.document.get_element_by_id(element_id)
+            assert element is not None, f"{name} markup lacks #{element_id}"
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_dom_is_nontrivial(self, name):
+        bundle = build_app(name)
+        assert bundle.page.document.element_count() >= 15
+
+    def test_markup_css_selectors_resolve_against_dom(self):
+        """The richer selector vocabulary in the app stylesheets matches
+        real elements (attribute selectors, :not, siblings)."""
+        bundle = build_app("amazon")
+        doc = bundle.page.document
+        assert doc.query_selector("[data-asin^='B00']") is not None
+        assert len(doc.query_selector_all(".product")) == 10
+
+        bbc = build_app("bbc").page.document
+        assert len(bbc.query_selector_all("article.story:not(.promoted)")) >= 5
+        assert bbc.query_selector("a[href^='https']") is not None
+
+    def test_goo_transition_comes_from_markup(self):
+        from repro.web.css.transitions import transition_for
+
+        bundle = build_app("goo_ne_jp")
+        panel = bundle.page.document.get_element_by_id("panel")
+        spec = transition_for(bundle.page.stylesheet, panel, "width")
+        assert spec is not None and spec.duration_ms == 500
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_bubbling_paths_are_deep(self, name):
+        """Markup DOMs give interactive elements real ancestor chains
+        (bubbling paths), unlike flat programmatic trees."""
+        bundle = build_app(name)
+        first_id = REQUIRED_IDS[name][0]
+        element = bundle.page.document.get_element_by_id(first_id)
+        assert len(list(element.ancestors())) >= 2
