@@ -27,6 +27,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.web` — DOM / CSS / events / script substrate.
 * :mod:`repro.workloads` — the twelve Table 3 applications.
 * :mod:`repro.evaluation` — per-figure experiment harness.
+* :mod:`repro.fleet` — population-scale parallel session simulation
+  with streaming, mergeable aggregation.
 """
 
 from repro.core.annotations import AnnotationRegistry
@@ -39,6 +41,7 @@ from repro.core.qos import (
     UsageScenario,
 )
 from repro.core.runtime import GreenWebRuntime
+from repro.fleet import Fleet, FleetSpec
 from repro.session import Session
 
 __version__ = "1.0.0"
@@ -46,6 +49,8 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "Session",
+    "Fleet",
+    "FleetSpec",
     "QoSType",
     "QoSTarget",
     "QoSSpec",

@@ -7,7 +7,11 @@ Commands:
   print the scorecard; ``--export-trace out.json`` additionally writes
   a Chrome-trace timeline loadable in chrome://tracing or Perfetto.
 * ``figures`` — regenerate the paper's figures/tables (all, or a
-  selection) as text, with ASCII bar charts for the energy figures.
+  selection) as text, with ASCII bar charts for the energy figures;
+  ``--jobs N`` fans the experiment matrix out over N worker processes.
+* ``fleet`` — simulate a *population* of sessions (a weighted mix of
+  apps x governors x scenarios) in parallel shards with streaming
+  aggregation; ``--json-out`` writes the deterministic summary.
 * ``autogreen APP`` — run AutoGreen on the unannotated application and
   print the generated GreenWeb CSS.
 """
@@ -18,6 +22,7 @@ import argparse
 import sys
 
 from repro.core.qos import UsageScenario
+from repro.errors import ReproError
 from repro.evaluation.runner import GOVERNORS, run_workload
 from repro.workloads.registry import APP_NAMES, build_app, table3_specs
 
@@ -98,11 +103,13 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         "table1", "fig9", "fig10", "fig11", "fig12", "table3"
     }
     apps = args.apps or None
+    seed = args.seed
+    jobs = args.jobs
 
     if "table1" in which:
         print(report.render_table1(), end="\n\n")
     if "fig9" in which:
-        rows9 = experiments.run_fig9_microbenchmarks(apps=apps)
+        rows9 = experiments.run_fig9_microbenchmarks(apps=apps, seed=seed, jobs=jobs)
         print(report.render_fig9(rows9), end="\n\n")
         print("GreenWeb-I energy (normalised to Perf, lower is better):")
         print(report.ascii_bars(
@@ -112,7 +119,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         ), end="\n\n")
     rows10 = None
     if which & {"fig10", "fig11", "fig12"}:
-        rows10 = experiments.run_fig10_full_interactions(apps=apps)
+        rows10 = experiments.run_fig10_full_interactions(apps=apps, seed=seed, jobs=jobs)
     if "fig10" in which:
         print(report.render_fig10(rows10), end="\n\n")
         print("GreenWeb-U energy (normalised to Perf, lower is better):")
@@ -174,6 +181,56 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Simulate a population of sessions and print/write the aggregate."""
+    from repro.fleet import Fleet, FleetSpec, default_mix, parse_mix
+
+    spec = FleetSpec(
+        sessions=args.sessions,
+        seed=args.seed,
+        mix=parse_mix(args.mix) if args.mix else default_mix(),
+        shard_size=args.shard_size,
+        max_retries=args.max_retries,
+        shard_timeout_s=args.shard_timeout,
+    )
+    # Claim the output file before burning minutes of simulation on a
+    # path that turns out to be unwritable.
+    json_handle = open(args.json_out, "w") if args.json_out else None
+
+    result = Fleet(spec, jobs=args.jobs).run()
+    aggregate = result.aggregate
+
+    print(f"fleet:       {result.sessions} sessions, seed {result.seed}, "
+          f"{result.shards_total} shards x <= {result.shard_size}, "
+          f"{result.jobs} job(s)")
+    rate = result.sessions_completed / result.elapsed_s if result.elapsed_s else 0.0
+    print(f"completed:   {result.sessions_completed}/{result.sessions} sessions "
+          f"in {result.elapsed_s:.1f} s wall ({rate:.1f} sessions/s), "
+          f"{result.retries} retries, {len(result.failures)} failed shards")
+    for failure in result.failures:
+        print(f"  FAILED shard {failure.shard} after {failure.attempts} "
+              f"attempt(s): {failure.error}")
+    energy = aggregate.energy_j
+    violation = aggregate.violation_pct
+    if aggregate.sessions:
+        print(f"energy:      {energy.sum:.2f} J total, "
+              f"{energy.mean:.3f} J/session [{energy.min:.3f}, {energy.max:.3f}]")
+        print(f"violations:  {violation.mean:.2f}% mean/session "
+              f"[{violation.min:.2f}, {violation.max:.2f}]")
+        print(f"throughput:  {aggregate.inputs} inputs, {aggregate.frames} frames")
+        print("by governor:")
+        for name in sorted(aggregate.by_governor):
+            group = aggregate.by_governor[name]
+            print(f"  {name:12s} {group.sessions:6d} sessions  "
+                  f"{group.energy_j.mean:8.3f} J/session  "
+                  f"{group.violation_pct.mean:6.2f}% violations")
+    if json_handle is not None:
+        with json_handle:
+            json_handle.write(result.to_json())
+        print(f"json:        {args.json_out}")
+    return 0 if result.ok else 1
+
+
 def _cmd_autogreen(args: argparse.Namespace) -> int:
     from repro.autogreen import AutoGreen, generate_annotations
 
@@ -224,7 +281,45 @@ def build_parser() -> argparse.ArgumentParser:
     figures_parser.add_argument(
         "--apps", nargs="+", choices=APP_NAMES, help="subset of applications"
     )
+    figures_parser.add_argument("--seed", type=int, default=0)
+    figures_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the experiment matrix (default: 1)",
+    )
     figures_parser.set_defaults(fn=_cmd_figures)
+
+    fleet_parser = sub.add_parser(
+        "fleet", help="simulate a population of sessions in parallel"
+    )
+    fleet_parser.add_argument(
+        "--sessions", type=int, default=100, help="population size (default: 100)"
+    )
+    fleet_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default: 1)"
+    )
+    fleet_parser.add_argument("--seed", type=int, default=0, help="root seed")
+    fleet_parser.add_argument(
+        "--mix",
+        help="population mix: comma-separated "
+        "APP[:GOVERNOR[:SCENARIO[:TRACE]]][=WEIGHT] items "
+        "(default: every app under greenweb and perf, micro traces)",
+    )
+    fleet_parser.add_argument(
+        "--json-out", metavar="PATH", help="write the deterministic JSON summary"
+    )
+    fleet_parser.add_argument(
+        "--shard-size", type=int, default=8,
+        help="sessions per shard (default: 8; independent of --jobs)",
+    )
+    fleet_parser.add_argument(
+        "--max-retries", type=int, default=1,
+        help="retry budget per failed shard (default: 1)",
+    )
+    fleet_parser.add_argument(
+        "--shard-timeout", type=float, default=300.0,
+        help="per-shard wall-clock deadline in seconds (default: 300)",
+    )
+    fleet_parser.set_defaults(fn=_cmd_fleet)
 
     analyze_parser = sub.add_parser("analyze", help="frame-timeline stats for a run")
     analyze_parser.add_argument("app", choices=APP_NAMES)
@@ -255,6 +350,12 @@ def main(argv: list[str] | None = None) -> int:
         except Exception:
             pass
         return 0
+    except (ReproError, OSError) as exc:
+        # Misconfiguration (bad --mix, bad spec values, unwritable
+        # output path, ...) is a usage error, not a crash: report it
+        # argparse-style.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

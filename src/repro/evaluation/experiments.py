@@ -17,11 +17,40 @@ from typing import Optional
 from repro.core.qos import QoSType, UsageScenario
 from repro.evaluation.metrics import cluster_residency, switching_per_frame_pct
 from repro.evaluation.runner import RunResult, run_workload
+from repro.fleet.pool import parallel_map
 from repro.hardware.dvfs import CpuConfig
 from repro.workloads.registry import APP_NAMES, app_spec
 
 I = UsageScenario.IMPERCEPTIBLE
 U = UsageScenario.USABLE
+
+
+def _run_cell(cell: tuple) -> RunResult:
+    """Module-level (hence picklable) runner for one experiment cell."""
+    app, governor, scenario, trace_kind, seed = cell
+    return run_workload(app, governor, scenario, trace_kind, seed)
+
+
+def _run_matrix(
+    apps: list[str],
+    variants: list[tuple[str, UsageScenario]],
+    trace_kind: str,
+    seed: int,
+    jobs: int,
+) -> dict[str, list[RunResult]]:
+    """Run apps x variants, optionally fanned out over worker processes,
+    and return the per-app result rows in variant order."""
+    cells = [
+        (app, governor, scenario, trace_kind, seed)
+        for app in apps
+        for governor, scenario in variants
+    ]
+    results = parallel_map(_run_cell, cells, jobs)
+    stride = len(variants)
+    return {
+        app: results[index * stride : (index + 1) * stride]
+        for index, app in enumerate(apps)
+    }
 
 
 # ----------------------------------------------------------------------
@@ -49,16 +78,22 @@ class MicrobenchRow:
 
 
 def run_fig9_microbenchmarks(
-    apps: Optional[list[str]] = None, seed: int = 0
+    apps: Optional[list[str]] = None, seed: int = 0, jobs: int = 1
 ) -> list[MicrobenchRow]:
     """Figs. 9a/9b: GreenWeb-I and GreenWeb-U vs. Perf on each app's
-    micro interaction."""
+    micro interaction.  ``jobs > 1`` runs the matrix on worker
+    processes; the rows are identical either way."""
+    app_list = list(apps or APP_NAMES)
+    matrix = _run_matrix(
+        app_list,
+        [("perf", I), ("perf", U), ("greenweb", I), ("greenweb", U)],
+        "micro",
+        seed,
+        jobs,
+    )
     rows = []
-    for app in apps or APP_NAMES:
-        perf_i = run_workload(app, "perf", I, "micro", seed)
-        perf_u = run_workload(app, "perf", U, "micro", seed)
-        green_i = run_workload(app, "greenweb", I, "micro", seed)
-        green_u = run_workload(app, "greenweb", U, "micro", seed)
+    for app in app_list:
+        perf_i, perf_u, green_i, green_u = matrix[app]
         rows.append(
             MicrobenchRow(
                 app=app,
@@ -116,17 +151,29 @@ class FullInteractionRow:
 
 
 def run_fig10_full_interactions(
-    apps: Optional[list[str]] = None, seed: int = 0
+    apps: Optional[list[str]] = None, seed: int = 0, jobs: int = 1
 ) -> list[FullInteractionRow]:
-    """Figs. 10a/b/c: Interactive + GreenWeb-I/U vs. Perf, full traces."""
+    """Figs. 10a/b/c: Interactive + GreenWeb-I/U vs. Perf, full traces.
+    ``jobs > 1`` runs the matrix on worker processes; the rows are
+    identical either way."""
+    app_list = list(apps or APP_NAMES)
+    matrix = _run_matrix(
+        app_list,
+        [
+            ("perf", I),
+            ("perf", U),
+            ("interactive", I),
+            ("interactive", U),
+            ("greenweb", I),
+            ("greenweb", U),
+        ],
+        "full",
+        seed,
+        jobs,
+    )
     rows = []
-    for app in apps or APP_NAMES:
-        perf_i = run_workload(app, "perf", I, "full", seed)
-        perf_u = run_workload(app, "perf", U, "full", seed)
-        inter_i = run_workload(app, "interactive", I, "full", seed)
-        inter_u = run_workload(app, "interactive", U, "full", seed)
-        green_i = run_workload(app, "greenweb", I, "full", seed)
-        green_u = run_workload(app, "greenweb", U, "full", seed)
+    for app in app_list:
+        perf_i, perf_u, inter_i, inter_u, green_i, green_u = matrix[app]
         rows.append(
             FullInteractionRow(
                 app=app,

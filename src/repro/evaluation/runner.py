@@ -278,3 +278,60 @@ def run_workload(
         annotated_events=sum(1 for s in specs if s is not None),
         runtime_stats=runtime_stats,
     )
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """Flatten a :class:`RunResult` into plain picklable/JSON-able data.
+
+    ``CpuConfig`` residency keys become their ``"cluster@MHz"`` strings
+    and the scenario becomes its string value, so the dict survives any
+    serialisation boundary (process pools, JSON files, future RPC).
+    """
+    return {
+        "app": result.app,
+        "governor": result.governor,
+        "scenario": str(result.scenario),
+        "trace_kind": result.trace_kind,
+        "duration_s": result.duration_s,
+        "energy_j": result.energy_j,
+        "active_energy_j": result.active_energy_j,
+        "active_time_s": result.active_time_s,
+        "frames": result.frames,
+        "inputs": result.inputs,
+        "skipped_vsyncs": result.skipped_vsyncs,
+        "event_violations_pct": list(result.event_violations_pct),
+        "mean_violation_pct": result.mean_violation_pct,
+        "config_residency": {
+            str(config): fraction for config, fraction in result.config_residency.items()
+        },
+        "active_config_residency": {
+            str(config): fraction
+            for config, fraction in result.active_config_residency.items()
+        },
+        "freq_switches": result.freq_switches,
+        "migrations": result.migrations,
+        "annotated_events": result.annotated_events,
+        "runtime_stats": result.runtime_stats,
+    }
+
+
+def run_workload_job(spec: dict) -> dict:
+    """Worker-safe :func:`run_workload`: plain dict in, plain dict out.
+
+    This is the module-level entry point process pools (and future RPC
+    backends) call: it is importable without side effects, and both the
+    argument and the return value are built from picklable primitives
+    only.  Recognised keys (all but ``app`` optional): ``app``,
+    ``governor``, ``scenario``, ``trace_kind``, ``seed``, ``settle_s``,
+    ``runtime_kwargs``.
+    """
+    result = run_workload(
+        spec["app"],
+        spec.get("governor", "greenweb"),
+        UsageScenario(spec.get("scenario", "imperceptible")),
+        trace_kind=spec.get("trace_kind", "full"),
+        seed=int(spec.get("seed", 0)),
+        settle_s=float(spec.get("settle_s", 4.0)),
+        runtime_kwargs=spec.get("runtime_kwargs"),
+    )
+    return run_result_to_dict(result)

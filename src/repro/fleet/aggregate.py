@@ -1,0 +1,277 @@
+"""Mergeable streaming metrics for fleet runs.
+
+A fleet of a million sessions cannot hold a million ``RunResult``
+objects; it folds each session into constant-size *mergeable*
+accumulators instead.  Every type here supports three operations —
+``add`` (fold in one observation), ``merge`` (combine two partials),
+and ``to_dict``/``from_dict`` (cross a process or JSON boundary) — and
+merging partials in a fixed order reproduces the single-process result
+bit for bit, which is what makes ``--jobs N`` invisible in the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import EvaluationError
+
+
+@dataclass
+class Accumulator:
+    """Count / sum / min / max of a stream of floats."""
+
+    count: int = 0
+    sum: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: "Accumulator") -> None:
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Accumulator":
+        return cls(
+            count=data["count"], sum=data["sum"], min=data["min"], max=data["max"]
+        )
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram over ``[lo, hi)`` with explicit overflow.
+
+    Fixed bucket edges are what make two partial histograms mergeable by
+    plain element-wise addition — no re-binning, no approximation.
+    """
+
+    lo: float
+    hi: float
+    buckets: int
+    counts: list[int] = field(default_factory=list)
+    underflow: int = 0
+    overflow: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo or self.buckets <= 0:
+            raise EvaluationError(
+                f"bad histogram bounds [{self.lo}, {self.hi}) x {self.buckets}"
+            )
+        if not self.counts:
+            self.counts = [0] * self.buckets
+        elif len(self.counts) != self.buckets:
+            raise EvaluationError(
+                f"histogram has {len(self.counts)} counts for {self.buckets} buckets"
+            )
+
+    def add(self, value: float) -> None:
+        if value < self.lo:
+            self.underflow += 1
+        elif value >= self.hi:
+            self.overflow += 1
+        else:
+            index = int((value - self.lo) / (self.hi - self.lo) * self.buckets)
+            self.counts[min(index, self.buckets - 1)] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        if (other.lo, other.hi, other.buckets) != (self.lo, self.hi, self.buckets):
+            raise EvaluationError(
+                "cannot merge histograms with different bucket layouts: "
+                f"[{self.lo}, {self.hi}) x {self.buckets} vs "
+                f"[{other.lo}, {other.hi}) x {other.buckets}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def to_dict(self) -> dict:
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "buckets": self.buckets,
+            "counts": list(self.counts),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        return cls(
+            lo=data["lo"],
+            hi=data["hi"],
+            buckets=data["buckets"],
+            counts=list(data["counts"]),
+            underflow=data["underflow"],
+            overflow=data["overflow"],
+        )
+
+
+@dataclass
+class GroupAggregate:
+    """Per-group (governor or application) session statistics."""
+
+    sessions: int = 0
+    energy_j: Accumulator = field(default_factory=Accumulator)
+    violation_pct: Accumulator = field(default_factory=Accumulator)
+
+    def add_run(self, run: dict) -> None:
+        self.sessions += 1
+        self.energy_j.add(run["energy_j"])
+        self.violation_pct.add(run["mean_violation_pct"])
+
+    def merge(self, other: "GroupAggregate") -> None:
+        self.sessions += other.sessions
+        self.energy_j.merge(other.energy_j)
+        self.violation_pct.merge(other.violation_pct)
+
+    def to_dict(self) -> dict:
+        return {
+            "sessions": self.sessions,
+            "energy_j": self.energy_j.to_dict(),
+            "violation_pct": self.violation_pct.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GroupAggregate":
+        return cls(
+            sessions=data["sessions"],
+            energy_j=Accumulator.from_dict(data["energy_j"]),
+            violation_pct=Accumulator.from_dict(data["violation_pct"]),
+        )
+
+
+def _violation_hist() -> Histogram:
+    return Histogram(lo=0.0, hi=100.0, buckets=20)
+
+
+def _energy_hist() -> Histogram:
+    return Histogram(lo=0.0, hi=5.0, buckets=25)
+
+
+def _latency_hist() -> Histogram:
+    return Histogram(lo=0.0, hi=200.0, buckets=40)
+
+
+@dataclass
+class FleetAggregate:
+    """Everything a fleet run reports, in constant memory.
+
+    Fold sessions in with :meth:`add_run` (taking the plain-dict output
+    of :func:`repro.evaluation.runner.run_workload_job`); combine shard
+    partials with :meth:`merge`.
+    """
+
+    sessions: int = 0
+    frames: int = 0
+    inputs: int = 0
+    energy_j: Accumulator = field(default_factory=Accumulator)
+    active_energy_j: Accumulator = field(default_factory=Accumulator)
+    violation_pct: Accumulator = field(default_factory=Accumulator)
+    #: per-session mean QoS violation, % over target
+    violation_hist: Histogram = field(default_factory=_violation_hist)
+    #: per-session total energy, joules
+    energy_hist: Histogram = field(default_factory=_energy_hist)
+    #: per-session mean input-to-completion latency, milliseconds
+    latency_hist: Histogram = field(default_factory=_latency_hist)
+    by_governor: dict[str, GroupAggregate] = field(default_factory=dict)
+    by_app: dict[str, GroupAggregate] = field(default_factory=dict)
+
+    def add_run(self, run: dict) -> None:
+        self.sessions += 1
+        self.frames += run["frames"]
+        self.inputs += run["inputs"]
+        self.energy_j.add(run["energy_j"])
+        self.active_energy_j.add(run["active_energy_j"])
+        self.violation_pct.add(run["mean_violation_pct"])
+        self.violation_hist.add(run["mean_violation_pct"])
+        self.energy_hist.add(run["energy_j"])
+        if run["inputs"]:
+            self.latency_hist.add(1000.0 * run["active_time_s"] / run["inputs"])
+        self.by_governor.setdefault(run["governor"], GroupAggregate()).add_run(run)
+        self.by_app.setdefault(run["app"], GroupAggregate()).add_run(run)
+
+    def merge(self, other: "FleetAggregate") -> None:
+        self.sessions += other.sessions
+        self.frames += other.frames
+        self.inputs += other.inputs
+        self.energy_j.merge(other.energy_j)
+        self.active_energy_j.merge(other.active_energy_j)
+        self.violation_pct.merge(other.violation_pct)
+        self.violation_hist.merge(other.violation_hist)
+        self.energy_hist.merge(other.energy_hist)
+        self.latency_hist.merge(other.latency_hist)
+        for name, group in other.by_governor.items():
+            self.by_governor.setdefault(name, GroupAggregate()).merge(group)
+        for name, group in other.by_app.items():
+            self.by_app.setdefault(name, GroupAggregate()).merge(group)
+
+    def to_dict(self) -> dict:
+        """Plain-data form with deterministically sorted group keys."""
+        return {
+            "sessions": self.sessions,
+            "frames": self.frames,
+            "inputs": self.inputs,
+            "energy_j": self.energy_j.to_dict(),
+            "active_energy_j": self.active_energy_j.to_dict(),
+            "violation_pct": self.violation_pct.to_dict(),
+            "violation_hist": self.violation_hist.to_dict(),
+            "energy_hist": self.energy_hist.to_dict(),
+            "latency_hist": self.latency_hist.to_dict(),
+            "by_governor": {
+                name: self.by_governor[name].to_dict()
+                for name in sorted(self.by_governor)
+            },
+            "by_app": {
+                name: self.by_app[name].to_dict() for name in sorted(self.by_app)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetAggregate":
+        return cls(
+            sessions=data["sessions"],
+            frames=data["frames"],
+            inputs=data["inputs"],
+            energy_j=Accumulator.from_dict(data["energy_j"]),
+            active_energy_j=Accumulator.from_dict(data["active_energy_j"]),
+            violation_pct=Accumulator.from_dict(data["violation_pct"]),
+            violation_hist=Histogram.from_dict(data["violation_hist"]),
+            energy_hist=Histogram.from_dict(data["energy_hist"]),
+            latency_hist=Histogram.from_dict(data["latency_hist"]),
+            by_governor={
+                name: GroupAggregate.from_dict(group)
+                for name, group in data["by_governor"].items()
+            },
+            by_app={
+                name: GroupAggregate.from_dict(group)
+                for name, group in data["by_app"].items()
+            },
+        )

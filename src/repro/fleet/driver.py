@@ -1,0 +1,241 @@
+"""The fleet driver: run a population of sessions across worker processes.
+
+Execution model:
+
+* the population is expanded and sharded deterministically by
+  :class:`~repro.fleet.spec.FleetSpec` (never influenced by job count);
+* shards run on a ``ProcessPoolExecutor`` (``jobs > 1``) or inline
+  (``jobs == 1``) through the same
+  :func:`~repro.fleet.worker.run_shard_job` entry point;
+* each shard has a wall-clock deadline and a bounded retry budget; a
+  crashed or hung shard is recorded in the result, never fatal;
+* partial aggregates merge in shard-index order, so the aggregate is
+  bit-identical across job counts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError
+from repro.fleet.aggregate import FleetAggregate
+from repro.fleet.spec import FleetSpec, Shard
+from repro.fleet.worker import run_shard_job
+
+#: How often the pool loop wakes to check shard deadlines (seconds).
+_POLL_S = 0.05
+
+
+@dataclass
+class ShardFailure:
+    """A shard that exhausted its retry budget."""
+
+    shard: int
+    attempts: int
+    error: str
+
+    def to_dict(self) -> dict:
+        return {"shard": self.shard, "attempts": self.attempts, "error": self.error}
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet run."""
+
+    sessions: int
+    seed: int
+    jobs: int
+    shard_size: int
+    shards_total: int
+    sessions_completed: int
+    retries: int
+    failures: list[ShardFailure]
+    aggregate: FleetAggregate
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every session of the population was aggregated."""
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        """Deterministic plain-data form.
+
+        Wall-clock time and job count are deliberately excluded: the
+        same (population, seed) must serialise byte-identically no
+        matter how many workers ran it or how long they took.
+        """
+        return {
+            "fleet": {
+                "sessions": self.sessions,
+                "seed": self.seed,
+                "shard_size": self.shard_size,
+                "shards": self.shards_total,
+                "sessions_completed": self.sessions_completed,
+                "retries": self.retries,
+                "failed_shards": [failure.to_dict() for failure in self.failures],
+            },
+            "aggregate": self.aggregate.to_dict(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+class Fleet:
+    """Run a :class:`FleetSpec` population.
+
+    >>> from repro.fleet import Fleet, FleetSpec, parse_mix
+    >>> spec = FleetSpec(sessions=100, seed=7, mix=parse_mix("todo:greenweb,cnet:perf"))
+    >>> result = Fleet(spec, jobs=4).run()
+    >>> result.aggregate.energy_j.sum  # doctest: +SKIP
+    """
+
+    def __init__(self, spec: FleetSpec, jobs: int = 1) -> None:
+        if jobs <= 0:
+            raise EvaluationError(f"fleet needs >= 1 job, got {jobs}")
+        self.spec = spec
+        self.jobs = jobs
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> FleetResult:
+        started = time.monotonic()
+        shards = self.spec.shards()
+        if self.jobs == 1:
+            results, retries, failures = self._run_inline(shards)
+        else:
+            results, retries, failures = self._run_pooled(shards)
+
+        # Merge partials in shard-index order — the one fixed order that
+        # makes float accumulation identical for every job count.
+        aggregate = FleetAggregate()
+        sessions_completed = 0
+        for shard in shards:
+            partial = results.get(shard.index)
+            if partial is not None:
+                aggregate.merge(FleetAggregate.from_dict(partial["aggregate"]))
+                sessions_completed += partial["sessions"]
+
+        return FleetResult(
+            sessions=self.spec.sessions,
+            seed=self.spec.seed,
+            jobs=self.jobs,
+            shard_size=self.spec.shard_size,
+            shards_total=len(shards),
+            sessions_completed=sessions_completed,
+            retries=retries,
+            failures=sorted(failures, key=lambda f: f.shard),
+            aggregate=aggregate,
+            elapsed_s=time.monotonic() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution backends
+    # ------------------------------------------------------------------
+    def _payload(self, shard: Shard, attempt: int) -> dict:
+        payload = {
+            "shard": shard.index,
+            "attempt": attempt,
+            "sessions": [spec.to_job(self.spec.settle_s) for spec in shard.sessions],
+        }
+        if self.spec.inject_crash is not None:
+            payload["inject_crash"] = self.spec.inject_crash
+        return payload
+
+    def _run_inline(self, shards: list[Shard]):
+        """Sequential backend: same shard granularity, same retry
+        semantics, no processes (and hence no hang timeouts)."""
+        results: dict[int, dict] = {}
+        failures: list[ShardFailure] = []
+        retries = 0
+        for shard in shards:
+            for attempt in range(self.spec.max_retries + 1):
+                try:
+                    results[shard.index] = run_shard_job(self._payload(shard, attempt))
+                    break
+                except Exception as exc:
+                    if attempt < self.spec.max_retries:
+                        retries += 1
+                    else:
+                        failures.append(
+                            ShardFailure(shard.index, attempt + 1, repr(exc))
+                        )
+        return results, retries, failures
+
+    def _run_pooled(self, shards: list[Shard]):
+        """Process-pool backend with per-shard deadlines and retry."""
+        by_index = {shard.index: shard for shard in shards}
+        results: dict[int, dict] = {}
+        failures: list[ShardFailure] = []
+        retries = 0
+        executor = ProcessPoolExecutor(max_workers=self.jobs)
+        pending: dict[Future, tuple[int, int, float]] = {}
+
+        def submit(shard_index: int, attempt: int) -> None:
+            future = executor.submit(
+                run_shard_job, self._payload(by_index[shard_index], attempt)
+            )
+            pending[future] = (
+                shard_index,
+                attempt,
+                time.monotonic() + self.spec.shard_timeout_s,
+            )
+
+        def reschedule(shard_index: int, attempt: int, error: str) -> None:
+            nonlocal retries
+            if attempt < self.spec.max_retries:
+                retries += 1
+                submit(shard_index, attempt + 1)
+            else:
+                failures.append(ShardFailure(shard_index, attempt + 1, error))
+
+        try:
+            for shard in shards:
+                submit(shard.index, 0)
+            while pending:
+                done, _ = wait(
+                    set(pending), timeout=_POLL_S, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    shard_index, attempt, _deadline = pending.pop(future)
+                    try:
+                        results[shard_index] = future.result()
+                    except BrokenProcessPool as exc:
+                        # A hard worker death poisons the whole pool and
+                        # every in-flight future.  Rebuild the pool,
+                        # charge a retry to the shard whose future broke,
+                        # and resubmit innocent bystanders free of charge.
+                        bystanders = list(pending.values())
+                        pending.clear()
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = ProcessPoolExecutor(max_workers=self.jobs)
+                        reschedule(shard_index, attempt, repr(exc))
+                        for other_index, other_attempt, _ in bystanders:
+                            submit(other_index, other_attempt)
+                        break  # `done` futures belong to the dead pool
+                    except Exception as exc:
+                        reschedule(shard_index, attempt, repr(exc))
+                now = time.monotonic()
+                for future in list(pending):
+                    shard_index, attempt, deadline = pending[future]
+                    if now > deadline:
+                        # A running future cannot be interrupted; abandon
+                        # it (its eventual result is ignored) and let the
+                        # retry land on a free worker.
+                        del pending[future]
+                        future.cancel()
+                        reschedule(
+                            shard_index,
+                            attempt,
+                            f"shard {shard_index} exceeded "
+                            f"{self.spec.shard_timeout_s}s deadline",
+                        )
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return results, retries, failures

@@ -1,0 +1,32 @@
+"""Order-preserving parallel map over worker processes.
+
+The light-weight sibling of the fleet driver: no sharding, retries, or
+deadlines — just "run this picklable function over these items on N
+processes and give me the results in order".  Figure regeneration
+(``python -m repro figures --jobs N``) and other embarrassingly
+parallel experiment matrices use this; anything that needs failure
+isolation should use :class:`repro.fleet.Fleet` instead.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T], jobs: int = 1) -> list[R]:
+    """Map ``fn`` over ``items``, preserving input order.
+
+    ``jobs <= 1`` runs inline (no processes, exact same results), so
+    callers can thread a ``--jobs`` flag straight through.  ``fn`` must
+    be a module-level callable and items/results picklable when
+    ``jobs > 1``.
+    """
+    work: Sequence[T] = list(items)
+    if jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+        return list(pool.map(fn, work, chunksize=1))

@@ -1,0 +1,221 @@
+"""Fleet population specs: what a simulated user population looks like.
+
+A :class:`FleetSpec` describes a *population* of sessions as a weighted
+mix of (application, governor, scenario, trace) cells plus a root seed.
+Expansion is fully deterministic: session ``i`` of a fleet rooted at
+seed ``s`` always gets the same cell and the same derived workload seed,
+independent of how many worker processes later execute it.  Sharding is
+equally deterministic and — crucially — independent of the job count,
+so ``--jobs 1`` and ``--jobs 8`` partition (and therefore aggregate)
+the population identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.qos import UsageScenario
+from repro.errors import EvaluationError
+from repro.evaluation.runner import GOVERNORS
+from repro.sim.random import RngStreams, derive_seed
+from repro.workloads.registry import APP_NAMES
+
+#: Shard size used when a spec does not choose one.  Small enough that a
+#: hundred-session fleet spreads across several workers, large enough
+#: that per-shard process overhead stays negligible.
+DEFAULT_SHARD_SIZE = 8
+
+_TRACE_KINDS = ("micro", "full")
+
+
+@dataclass(frozen=True)
+class MixEntry:
+    """One weighted cell of the population mix."""
+
+    app: str
+    governor: str = "greenweb"
+    scenario: str = "imperceptible"
+    trace_kind: str = "micro"
+    weight: float = 1.0
+
+    def validate(self) -> "MixEntry":
+        if self.app not in APP_NAMES:
+            raise EvaluationError(
+                f"unknown application {self.app!r}; known: {list(APP_NAMES)}"
+            )
+        if self.governor not in GOVERNORS:
+            raise EvaluationError(
+                f"unknown governor {self.governor!r}; known: {list(GOVERNORS)}"
+            )
+        try:
+            UsageScenario(self.scenario)
+        except ValueError:
+            raise EvaluationError(
+                f"unknown scenario {self.scenario!r}; use 'imperceptible' or 'usable'"
+            ) from None
+        if self.trace_kind not in _TRACE_KINDS:
+            raise EvaluationError(
+                f"unknown trace kind {self.trace_kind!r}; use 'micro' or 'full'"
+            )
+        if not (self.weight > 0.0):
+            raise EvaluationError(f"mix weight must be positive, got {self.weight}")
+        return self
+
+    @property
+    def label(self) -> str:
+        return f"{self.app}:{self.governor}:{self.scenario}:{self.trace_kind}"
+
+
+def parse_mix(text: str) -> list[MixEntry]:
+    """Parse a ``--mix`` string into validated entries.
+
+    Grammar: comma-separated items, each
+    ``APP[:GOVERNOR[:SCENARIO[:TRACE]]][=WEIGHT]``, e.g.::
+
+        todo:greenweb=3,cnet:perf,amazon:greenweb:usable:full=0.5
+    """
+    entries = []
+    for raw in text.split(","):
+        item = raw.strip()
+        if not item:
+            continue
+        weight = 1.0
+        if "=" in item:
+            item, weight_text = item.rsplit("=", 1)
+            try:
+                weight = float(weight_text)
+            except ValueError:
+                raise EvaluationError(
+                    f"bad mix weight {weight_text!r} in {raw.strip()!r}"
+                ) from None
+        parts = item.split(":")
+        if len(parts) > 4:
+            raise EvaluationError(
+                f"bad mix item {raw.strip()!r}: expected "
+                "APP[:GOVERNOR[:SCENARIO[:TRACE]]][=WEIGHT]"
+            )
+        defaults = MixEntry(app=parts[0])
+        entries.append(
+            MixEntry(
+                app=parts[0],
+                governor=parts[1] if len(parts) > 1 else defaults.governor,
+                scenario=parts[2] if len(parts) > 2 else defaults.scenario,
+                trace_kind=parts[3] if len(parts) > 3 else defaults.trace_kind,
+                weight=weight,
+            ).validate()
+        )
+    if not entries:
+        raise EvaluationError(f"empty mix {text!r}")
+    return entries
+
+
+def default_mix() -> list[MixEntry]:
+    """All twelve applications under GreenWeb and Perf, micro traces."""
+    return [
+        MixEntry(app=app, governor=governor)
+        for app in APP_NAMES
+        for governor in ("greenweb", "perf")
+    ]
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One fully-resolved session of the population."""
+
+    index: int
+    app: str
+    governor: str
+    scenario: str
+    trace_kind: str
+    seed: int
+
+    def to_job(self, settle_s: float = 4.0) -> dict:
+        """The picklable :func:`repro.evaluation.runner.run_workload_job`
+        argument for this session."""
+        return {
+            "app": self.app,
+            "governor": self.governor,
+            "scenario": self.scenario,
+            "trace_kind": self.trace_kind,
+            "seed": self.seed,
+            "settle_s": settle_s,
+        }
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous slice of the population executed by one worker."""
+
+    index: int
+    sessions: tuple[SessionSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+
+@dataclass
+class FleetSpec:
+    """A population of sessions plus the knobs that control its run."""
+
+    sessions: int
+    seed: int = 0
+    mix: list[MixEntry] = field(default_factory=default_mix)
+    shard_size: int = DEFAULT_SHARD_SIZE
+    max_retries: int = 1
+    shard_timeout_s: float = 300.0
+    settle_s: float = 4.0
+    #: test-only fault injection, e.g. ``{"shard": 2, "attempts": 1}``
+    #: (fail the first attempt of shard 2) with optional ``"mode"`` of
+    #: ``"raise"`` (default) or ``"sleep"`` (hang past the timeout).
+    inject_crash: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        if self.sessions <= 0:
+            raise EvaluationError(f"fleet needs >= 1 session, got {self.sessions}")
+        if self.shard_size <= 0:
+            raise EvaluationError(f"shard size must be positive, got {self.shard_size}")
+        if self.max_retries < 0:
+            raise EvaluationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not self.mix:
+            raise EvaluationError("fleet mix must not be empty")
+        for entry in self.mix:
+            entry.validate()
+
+    # ------------------------------------------------------------------
+    # Deterministic expansion
+    # ------------------------------------------------------------------
+    def expand(self) -> list[SessionSpec]:
+        """Resolve the weighted mix into one spec per session.
+
+        Session ``i`` draws its cell from the ``fleet/mix`` RNG stream of
+        the root seed and derives its own workload seed, so the expansion
+        depends only on (sessions, seed, mix) — never on job count.
+        """
+        weights = np.array([entry.weight for entry in self.mix], dtype=float)
+        rng = RngStreams(self.seed).stream("fleet/mix")
+        choices = rng.choice(len(self.mix), size=self.sessions, p=weights / weights.sum())
+        specs = []
+        for index, choice in enumerate(choices):
+            entry = self.mix[int(choice)]
+            specs.append(
+                SessionSpec(
+                    index=index,
+                    app=entry.app,
+                    governor=entry.governor,
+                    scenario=entry.scenario,
+                    trace_kind=entry.trace_kind,
+                    seed=derive_seed(self.seed, "fleet-session", index),
+                )
+            )
+        return specs
+
+    def shards(self) -> list[Shard]:
+        """Partition the expanded population into fixed-size shards."""
+        specs = self.expand()
+        return [
+            Shard(index=shard_index, sessions=tuple(specs[start : start + self.shard_size]))
+            for shard_index, start in enumerate(range(0, len(specs), self.shard_size))
+        ]

@@ -123,6 +123,27 @@ class Session:
             runtime_kwargs=self.runtime_kwargs,
         )
 
+    # ------------------------------------------------------------------
+    # Fleet / worker interop
+    # ------------------------------------------------------------------
+    def as_job(self, trace_kind: str = "full", settle_s: float = 4.0) -> dict:
+        """This session as a plain picklable
+        :func:`repro.evaluation.runner.run_workload_job` payload — the
+        form process pools, :mod:`repro.fleet` shards, and future RPC
+        backends consume.
+        """
+        job = {
+            "app": self.app_name,
+            "governor": self.governor,
+            "scenario": str(self.scenario),
+            "trace_kind": trace_kind,
+            "seed": self.seed,
+            "settle_s": settle_s,
+        }
+        if self.runtime_kwargs:
+            job["runtime_kwargs"] = dict(self.runtime_kwargs)
+        return job
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Session {self.app_name} governor={self.governor} "

@@ -27,6 +27,22 @@ def _stable_hash(name: str) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+def derive_seed(root: int, *keys: "int | str") -> int:
+    """Derive a decorrelated 63-bit child seed from ``root`` and a key path.
+
+    Used wherever one experiment seed must fan out into many independent
+    sub-seeds — e.g. ``derive_seed(7, "fleet-session", 42)`` gives session
+    42 of a fleet rooted at seed 7 its own workload seed.  The derivation
+    is platform independent (string keys go through the same stable hash
+    as stream names) and collision-resistant via ``SeedSequence``.
+    """
+    material = [int(root)]
+    for key in keys:
+        material.append(int(key) if isinstance(key, int) else _stable_hash(str(key)))
+    entropy = np.random.SeedSequence(material).generate_state(1, dtype=np.uint64)[0]
+    return int(entropy) % (2**63)
+
+
 class RngStreams:
     """Factory of independent named RNG streams from one master seed."""
 

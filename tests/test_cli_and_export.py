@@ -117,6 +117,44 @@ class TestCli:
         assert "Fig. 9" in out
         assert "todo" in out
 
+    def test_run_seed_reproducible(self, capsys):
+        assert main(["run", "todo", "--seed", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "todo", "--seed", "5"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "seed 5" in first
+
+    def test_run_seed_changes_workload(self, capsys):
+        assert main(["run", "todo", "--trace", "full", "--seed", "0"]) == 0
+        base = capsys.readouterr().out
+        assert main(["run", "todo", "--trace", "full", "--seed", "99"]) == 0
+        other = capsys.readouterr().out
+        energy = [line for line in base.splitlines() if line.startswith("energy:")]
+        energy_other = [
+            line for line in other.splitlines() if line.startswith("energy:")
+        ]
+        assert energy != energy_other
+
+    def test_fleet_command(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        assert main([
+            "fleet", "--sessions", "4", "--jobs", "1", "--seed", "3",
+            "--mix", "todo:greenweb,cnet:perf", "--json-out", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "completed:   4/4 sessions" in out
+        assert "by governor:" in out
+        data = json.loads(path.read_text())
+        assert data["fleet"]["sessions_completed"] == 4
+        assert data["aggregate"]["sessions"] == 4
+        assert data["fleet"]["failed_shards"] == []
+
+    def test_fleet_rejects_bad_mix(self, capsys):
+        assert main(["fleet", "--sessions", "2", "--mix", "netscape:perf"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown application 'netscape'")
+
     def test_unknown_app_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "netscape"])

@@ -110,7 +110,7 @@ class TestApiDocExamples:
         commands = set()
         for action in parser._subparsers._group_actions:
             commands |= set(action.choices)
-        assert commands == {"apps", "run", "analyze", "figures", "autogreen"}
+        assert commands == {"apps", "run", "analyze", "figures", "fleet", "autogreen"}
 
     def test_public_init_exports(self):
         import repro
