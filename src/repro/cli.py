@@ -19,7 +19,9 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 
 from repro.core.qos import UsageScenario
 from repro.errors import ReproError
@@ -181,6 +183,28 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_file_atomic(path: str, text: str) -> None:
+    """Write via a sibling temp file and rename, so an interrupted run
+    never leaves ``path`` truncated or half-written."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".repro-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        # mkstemp creates 0600 files; give the final output the normal
+        # umask-derived permissions instead.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_path, 0o666 & ~umask)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     """Simulate a population of sessions and print/write the aggregate."""
     from repro.fleet import Fleet, FleetSpec, default_mix, parse_mix
@@ -193,9 +217,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         shard_timeout_s=args.shard_timeout,
     )
-    # Claim the output file before burning minutes of simulation on a
-    # path that turns out to be unwritable.
-    json_handle = open(args.json_out, "w") if args.json_out else None
+    if args.json_out:
+        # Fail fast on an unwritable output path before burning minutes
+        # of simulation — in append mode, so existing results survive
+        # if this run never reaches the write below.
+        with open(args.json_out, "a"):
+            pass
 
     result = Fleet(spec, jobs=args.jobs).run()
     aggregate = result.aggregate
@@ -224,9 +251,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(f"  {name:12s} {group.sessions:6d} sessions  "
                   f"{group.energy_j.mean:8.3f} J/session  "
                   f"{group.violation_pct.mean:6.2f}% violations")
-    if json_handle is not None:
-        with json_handle:
-            json_handle.write(result.to_json())
+    if args.json_out:
+        _write_file_atomic(args.json_out, result.to_json())
         print(f"json:        {args.json_out}")
     return 0 if result.ok else 1
 

@@ -7,8 +7,10 @@ Execution model:
 * shards run on a ``ProcessPoolExecutor`` (``jobs > 1``) or inline
   (``jobs == 1``) through the same
   :func:`~repro.fleet.worker.run_shard_job` entry point;
-* each shard has a wall-clock deadline and a bounded retry budget; a
-  crashed or hung shard is recorded in the result, never fatal;
+* at most ``jobs`` shards are in flight at once, so a shard's
+  wall-clock deadline starts when it begins executing, not when it
+  joins the queue; a crashed or hung shard is retried within a bounded
+  budget and then recorded in the result, never fatal;
 * partial aggregates merge in shard-index order, so the aggregate is
   bit-identical across job counts.
 """
@@ -17,6 +19,7 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -63,11 +66,17 @@ class FleetResult:
         return not self.failures
 
     def to_dict(self) -> dict:
-        """Deterministic plain-data form.
+        """Plain-data form.
 
-        Wall-clock time and job count are deliberately excluded: the
-        same (population, seed) must serialise byte-identically no
-        matter how many workers ran it or how long they took.
+        The ``fleet`` and ``aggregate`` sections depend only on the
+        (population, seed) actually aggregated — wall-clock time and
+        job count are deliberately excluded — so a clean (failure-free)
+        run serialises byte-identically no matter how many workers ran
+        it or how long they took.  The ``run`` section records what
+        this particular execution did (completions, retries, failures);
+        under failures it can differ across job counts, because the
+        pooled backend has failure modes (shard deadlines, worker
+        death) that cannot occur inline.
         """
         return {
             "fleet": {
@@ -75,6 +84,8 @@ class FleetResult:
                 "seed": self.seed,
                 "shard_size": self.shard_size,
                 "shards": self.shards_total,
+            },
+            "run": {
                 "sessions_completed": self.sessions_completed,
                 "retries": self.retries,
                 "failed_shards": [failure.to_dict() for failure in self.failures],
@@ -169,41 +180,77 @@ class Fleet:
         return results, retries, failures
 
     def _run_pooled(self, shards: list[Shard]):
-        """Process-pool backend with per-shard deadlines and retry."""
+        """Process-pool backend with per-shard deadlines and retry.
+
+        At most ``jobs`` shards are in flight at once, so every
+        submitted shard lands on a free worker and its deadline clocks
+        execution time, not queue wait — a fleet of any size can sit in
+        the ready queue indefinitely without timing out.  A shard that
+        does outlive its deadline cannot be interrupted through the
+        future API; the worker pool is killed and rebuilt instead, so a
+        hang frees its slot rather than silently shrinking capacity.
+        """
         by_index = {shard.index: shard for shard in shards}
         results: dict[int, dict] = {}
         failures: list[ShardFailure] = []
         retries = 0
+        #: shards ready to run, as (shard_index, attempt)
+        ready: deque[tuple[int, int]] = deque((shard.index, 0) for shard in shards)
+        running: dict[Future, tuple[int, int, float]] = {}
         executor = ProcessPoolExecutor(max_workers=self.jobs)
-        pending: dict[Future, tuple[int, int, float]] = {}
 
-        def submit(shard_index: int, attempt: int) -> None:
-            future = executor.submit(
-                run_shard_job, self._payload(by_index[shard_index], attempt)
-            )
-            pending[future] = (
-                shard_index,
-                attempt,
-                time.monotonic() + self.spec.shard_timeout_s,
-            )
+        def submit_ready() -> None:
+            while ready and len(running) < self.jobs:
+                shard_index, attempt = ready.popleft()
+                future = executor.submit(
+                    run_shard_job, self._payload(by_index[shard_index], attempt)
+                )
+                running[future] = (
+                    shard_index,
+                    attempt,
+                    time.monotonic() + self.spec.shard_timeout_s,
+                )
 
         def reschedule(shard_index: int, attempt: int, error: str) -> None:
             nonlocal retries
             if attempt < self.spec.max_retries:
                 retries += 1
-                submit(shard_index, attempt + 1)
+                ready.append((shard_index, attempt + 1))
             else:
                 failures.append(ShardFailure(shard_index, attempt + 1, error))
 
+        def requeue_running() -> None:
+            # Innocent in-flight shards go back to the head of the
+            # queue at the same attempt — no retry charge.
+            for shard_index, attempt, _ in reversed(list(running.values())):
+                ready.appendleft((shard_index, attempt))
+            running.clear()
+
+        def rebuild_pool() -> None:
+            # ``shutdown`` never stops a worker stuck in user code, so
+            # terminate the processes outright: that is what actually
+            # returns a hung shard's slot to the pool.
+            nonlocal executor
+            processes = list(getattr(executor, "_processes", {}).values())
+            executor.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join()
+            executor = ProcessPoolExecutor(max_workers=self.jobs)
+
         try:
-            for shard in shards:
-                submit(shard.index, 0)
-            while pending:
+            while ready or running:
+                submit_ready()
                 done, _ = wait(
-                    set(pending), timeout=_POLL_S, return_when=FIRST_COMPLETED
+                    set(running), timeout=_POLL_S, return_when=FIRST_COMPLETED
                 )
+                broken = False
                 for future in done:
-                    shard_index, attempt, _deadline = pending.pop(future)
+                    shard_index, attempt, _deadline = running.pop(future)
                     try:
                         results[shard_index] = future.result()
                     except BrokenProcessPool as exc:
@@ -211,31 +258,33 @@ class Fleet:
                         # every in-flight future.  Rebuild the pool,
                         # charge a retry to the shard whose future broke,
                         # and resubmit innocent bystanders free of charge.
-                        bystanders = list(pending.values())
-                        pending.clear()
-                        executor.shutdown(wait=False, cancel_futures=True)
-                        executor = ProcessPoolExecutor(max_workers=self.jobs)
+                        requeue_running()
                         reschedule(shard_index, attempt, repr(exc))
-                        for other_index, other_attempt, _ in bystanders:
-                            submit(other_index, other_attempt)
-                        break  # `done` futures belong to the dead pool
+                        rebuild_pool()
+                        broken = True
+                        break  # remaining `done` futures died with the pool
                     except Exception as exc:
                         reschedule(shard_index, attempt, repr(exc))
+                if broken:
+                    continue
                 now = time.monotonic()
-                for future in list(pending):
-                    shard_index, attempt, deadline = pending[future]
-                    if now > deadline:
-                        # A running future cannot be interrupted; abandon
-                        # it (its eventual result is ignored) and let the
-                        # retry land on a free worker.
-                        del pending[future]
-                        future.cancel()
+                expired = {
+                    future: (shard_index, attempt)
+                    for future, (shard_index, attempt, deadline) in running.items()
+                    if now > deadline
+                }
+                if expired:
+                    for future in expired:
+                        del running[future]
+                    requeue_running()
+                    for shard_index, attempt in expired.values():
                         reschedule(
                             shard_index,
                             attempt,
                             f"shard {shard_index} exceeded "
                             f"{self.spec.shard_timeout_s}s deadline",
                         )
+                    rebuild_pool()
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
         return results, retries, failures

@@ -169,7 +169,8 @@ class FleetSpec:
     settle_s: float = 4.0
     #: test-only fault injection, e.g. ``{"shard": 2, "attempts": 1}``
     #: (fail the first attempt of shard 2) with optional ``"mode"`` of
-    #: ``"raise"`` (default) or ``"sleep"`` (hang past the timeout).
+    #: ``"raise"`` (default) or ``"sleep"`` (hang past the timeout);
+    #: ``"shard"`` may be a list to target several shards at once.
     inject_crash: Optional[dict] = None
 
     def __post_init__(self) -> None:

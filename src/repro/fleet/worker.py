@@ -23,12 +23,19 @@ def _maybe_inject_crash(payload: dict) -> None:
 
     ``inject_crash = {"shard": i, "attempts": n, "mode": "raise"|"sleep"}``
     makes shard ``i`` misbehave while ``attempt < n`` — either raising
-    (a worker crash) or sleeping past the shard timeout (a hang).  The
-    driver's retry/timeout machinery is exercised by real failures, not
-    mocks, yet production payloads never set the key.
+    (a worker crash) or sleeping past the shard timeout (a hang); a
+    list value for ``"shard"`` targets several shards at once (e.g. to
+    hang every worker simultaneously).  The driver's retry/timeout
+    machinery is exercised by real failures, not mocks, yet production
+    payloads never set the key.
     """
     crash = payload.get("inject_crash")
-    if not crash or crash.get("shard") != payload["shard"]:
+    if not crash:
+        return
+    targets = crash.get("shard")
+    if not isinstance(targets, (list, tuple)):
+        targets = [targets]
+    if payload["shard"] not in targets:
         return
     if payload.get("attempt", 0) >= crash.get("attempts", 1):
         return

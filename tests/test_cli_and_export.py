@@ -146,9 +146,29 @@ class TestCli:
         assert "completed:   4/4 sessions" in out
         assert "by governor:" in out
         data = json.loads(path.read_text())
-        assert data["fleet"]["sessions_completed"] == 4
+        assert data["run"]["sessions_completed"] == 4
         assert data["aggregate"]["sessions"] == 4
-        assert data["fleet"]["failed_shards"] == []
+        assert data["run"]["failed_shards"] == []
+
+    def test_fleet_json_out_unwritable_fails_fast(self, tmp_path, capsys):
+        missing = tmp_path / "nosuchdir" / "fleet.json"
+        assert main([
+            "fleet", "--sessions", "2", "--mix", "todo:greenweb",
+            "--json-out", str(missing),
+        ]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_fleet_json_out_replaces_existing_file(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        path.write_text("old results\n")
+        assert main([
+            "fleet", "--sessions", "2", "--jobs", "1", "--seed", "3",
+            "--mix", "todo:greenweb", "--json-out", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert json.loads(path.read_text())["run"]["sessions_completed"] == 2
+        # The atomic-rename write leaves no temp droppings behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["fleet.json"]
 
     def test_fleet_rejects_bad_mix(self, capsys):
         assert main(["fleet", "--sessions", "2", "--mix", "netscape:perf"]) == 2

@@ -329,7 +329,7 @@ class TestFleetDriver:
         assert result.failures[0].attempts == 2
         assert result.sessions_completed == 8 - 3  # shard 1 held 3 sessions
         assert result.aggregate.sessions == 5
-        summary = result.to_dict()["fleet"]
+        summary = result.to_dict()["run"]
         assert summary["failed_shards"][0]["shard"] == 1
         assert summary["retries"] == 1
 
@@ -343,15 +343,42 @@ class TestFleetDriver:
         assert inline.aggregate.to_dict() == pooled.aggregate.to_dict()
 
     def test_hung_shard_times_out_and_retries(self):
+        # The timeout must leave room for the retry to run on a cold,
+        # freshly rebuilt pool (worker start + package import).
         hanging = FleetSpec(
             sessions=4, seed=7, mix=FAST_MIX, shard_size=2, max_retries=1,
-            shard_timeout_s=0.5,
-            inject_crash={"shard": 1, "attempts": 1, "mode": "sleep", "sleep_s": 3.0},
+            shard_timeout_s=3.0,
+            inject_crash={"shard": 1, "attempts": 1, "mode": "sleep", "sleep_s": 30.0},
         )
         result = Fleet(hanging, jobs=2).run()
         assert result.ok
         assert result.retries == 1
         assert result.sessions_completed == 4
+
+    def test_hung_workers_free_their_slots(self):
+        # Hang BOTH workers at once.  Abandoning the futures (the old
+        # behaviour) would leave zero usable pool slots, so the queued
+        # shards 2 and 3 could only sit out their deadlines — billed
+        # for queue wait they never caused — and the whole fleet would
+        # be falsely marked failed.  Killing and rebuilding the pool
+        # must instead run every shard to completion.
+        hanging = FleetSpec(
+            sessions=4, seed=7, mix=FAST_MIX, shard_size=1, max_retries=1,
+            shard_timeout_s=4.0,
+            inject_crash={
+                "shard": [0, 1], "attempts": 1, "mode": "sleep", "sleep_s": 30.0,
+            },
+        )
+        result = Fleet(hanging, jobs=2).run()
+        assert result.ok
+        # Exactly the two hung shards are charged retries; the queued
+        # bystanders are requeued free of charge.
+        assert result.retries == 2
+        assert result.sessions_completed == 4
+        clean = Fleet(
+            FleetSpec(sessions=4, seed=7, mix=FAST_MIX, shard_size=1), jobs=1
+        ).run()
+        assert result.aggregate.to_dict() == clean.aggregate.to_dict()
 
     def test_rejects_zero_jobs(self):
         with pytest.raises(EvaluationError):
