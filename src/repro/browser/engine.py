@@ -131,7 +131,9 @@ class Browser:
         self.policy = policy if policy is not None else BrowserPolicy()
         self.policy.bind(self)
 
-        self.vsync = VsyncSource(self.kernel, self._on_vsync, vsync_period_us)
+        self.vsync = VsyncSource(
+            self.kernel, self._on_vsync, vsync_period_us, demand=self._vsync_demand
+        )
         self.vsync.start()
 
     # ------------------------------------------------------------------
@@ -255,13 +257,14 @@ class Browser:
         # Callback-completion latency is traced so the Sec. 6.3 ablation
         # can contrast it with true frame latency (prior work measured
         # only the former; the paper argues it is insufficient).
-        self.trace.emit(
-            self.kernel.now_us,
-            "callback",
-            "finished",
-            uid=msg.uid,
-            latency_us=self.kernel.now_us - msg.start_us,
-        )
+        if self.trace.wants("callback"):
+            self.trace.emit(
+                self.kernel.now_us,
+                "callback",
+                "finished",
+                uid=msg.uid,
+                latency_us=self.kernel.now_us - msg.start_us,
+            )
         self._apply_effects(effects, msg, clock_start_us)
         self.tracker.release(msg.uid, self.kernel.now_us)
 
@@ -298,6 +301,7 @@ class Browser:
         for raf in effects.raf_requests:
             self.tracker.retain(msg.uid)
             self._raf_queue.append((raf.callback, msg))
+            self.vsync.request()
         for timeout in effects.timeouts:
             self.tracker.retain(msg.uid)
             self.kernel.schedule_in(
@@ -397,15 +401,17 @@ class Browser:
     def _start_animation(self, animation: _ActiveAnimation) -> None:
         self.tracker.retain(animation.msg.uid)
         self._animations.append(animation)
-        self.trace.emit(
-            self.kernel.now_us,
-            "animation",
-            "start",
-            kind=animation.kind,
-            uid=animation.msg.uid,
-            target=animation.name,
-            end_us=animation.end_us,
-        )
+        self.vsync.request()
+        if self.trace.wants("animation"):
+            self.trace.emit(
+                self.kernel.now_us,
+                "animation",
+                "start",
+                kind=animation.kind,
+                uid=animation.msg.uid,
+                target=animation.name,
+                end_us=animation.end_us,
+            )
 
     # ------------------------------------------------------------------
     # Dirty state (Fig. 8 Part II)
@@ -424,10 +430,23 @@ class Browser:
             # stamp-at-VSync sentinel, and earlier beats later.
             self._dirty[msg.uid] = FrameContributor(msg, clock_start_us)
         self._dirty_complexity = max(self._dirty_complexity, complexity)
+        self.vsync.request()
 
     # ------------------------------------------------------------------
     # VSync / frame production
     # ------------------------------------------------------------------
+    def _vsync_demand(self) -> bool:
+        """Whether the next VSync tick has anything to do.  While this
+        is false, ticks are pure overhead and the demand-driven source
+        stops delivering them (every site that creates demand also
+        calls ``vsync.request()``)."""
+        return bool(
+            self._frame_in_flight
+            or self._dirty
+            or self._raf_queue
+            or self._animations
+        )
+
     def _on_vsync(self, now: int) -> None:
         if self._frame_in_flight:
             # Previous frame still in the pipeline; this refresh is
@@ -483,14 +502,15 @@ class Browser:
         self._animations = survivors
 
     def _finish_animation(self, animation: _ActiveAnimation) -> None:
-        self.trace.emit(
-            self.kernel.now_us,
-            "animation",
-            "end",
-            kind=animation.kind,
-            uid=animation.msg.uid,
-            target=animation.name,
-        )
+        if self.trace.wants("animation"):
+            self.trace.emit(
+                self.kernel.now_us,
+                "animation",
+                "end",
+                kind=animation.kind,
+                uid=animation.msg.uid,
+                target=animation.name,
+            )
         if animation.end_event is not None and animation.element is not None:
             self._dispatch_internal(animation.end_event, animation.element, animation.msg)
         self.tracker.release(animation.msg.uid, self.kernel.now_us)
@@ -541,15 +561,16 @@ class Browser:
         self.tracker.frame_displayed(frame, now)
         self.stats.frames += 1
         self._frame_in_flight = False
-        self.trace.emit(
-            now,
-            "frame",
-            "displayed",
-            seq=frame.seq,
-            uids=tuple(frame.uids),
-            complexity=frame.complexity,
-            max_latency_us=frame.max_latency_us,
-        )
+        if self.trace.wants("frame"):
+            self.trace.emit(
+                now,
+                "frame",
+                "displayed",
+                seq=frame.seq,
+                uids=tuple(frame.uids),
+                complexity=frame.complexity,
+                max_latency_us=frame.max_latency_us,
+            )
         self.policy.on_frame_displayed(frame)
 
     def _input_completed(self, record: InputRecord) -> None:

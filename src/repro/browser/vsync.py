@@ -4,11 +4,22 @@ Mobile displays refresh at 60 Hz; browsers only produce frames on
 VSync to avoid tearing (paper Sec. 6.3).  The source fires a callback
 every period; the browser decides at each tick whether a frame is
 needed (dirty bit set, rAF handlers pending, animations active).
+
+Demand-driven mode
+------------------
+A long interaction session is mostly idle: thousands of ticks find no
+dirty state, no rAF handlers, and no animations, yet each one costs a
+kernel heap push/pop.  Passing a ``demand`` predicate makes the source
+stop re-arming after an idle tick and resume — via :meth:`request` —
+when the browser next creates work for it.  Resumed ticks land on the
+same fixed phase grid (``start_time + k * period``) the continuous
+source would have used, so frame timing is unchanged; only the no-op
+ticks in between disappear.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.errors import BrowserError
 from repro.sim.kernel import Kernel
@@ -19,26 +30,44 @@ VSYNC_PERIOD_US: int = 16_667
 
 
 class VsyncSource:
-    """Fires ``on_tick`` every ``period_us`` while started."""
+    """Fires ``on_tick`` every ``period_us`` while started.
+
+    Args:
+        kernel: the simulation kernel.
+        on_tick: tick callback, receives the current time in us.
+        period_us: refresh period (default 60 Hz).
+        demand: optional predicate; when given, an idle tick (one after
+            which ``demand()`` is false) does not re-arm, and the
+            browser must call :meth:`request` when new work appears.
+            ``None`` keeps the classic always-ticking behaviour.
+    """
 
     def __init__(
         self,
         kernel: Kernel,
         on_tick: Callable[[int], None],
         period_us: int = VSYNC_PERIOD_US,
+        demand: Optional[Callable[[], bool]] = None,
     ) -> None:
         if period_us <= 0:
             raise BrowserError(f"non-positive VSync period: {period_us}")
         self._kernel = kernel
         self._on_tick = on_tick
         self.period_us = period_us
+        self._demand = demand
         self._running = False
         self._tick_count = 0
         self._event = None
+        self._origin_us = 0
 
     @property
     def running(self) -> bool:
         return self._running
+
+    @property
+    def armed(self) -> bool:
+        """Whether a tick is currently scheduled."""
+        return self._event is not None and self._event.pending
 
     @property
     def tick_count(self) -> int:
@@ -50,7 +79,8 @@ class VsyncSource:
         if self._running:
             return
         self._running = True
-        self._arm()
+        self._origin_us = self._kernel.now_us
+        self._arm_at(self._origin_us + self.period_us)
 
     def stop(self) -> None:
         """Stop ticking (pending tick is cancelled)."""
@@ -59,14 +89,34 @@ class VsyncSource:
             self._event.cancel()
             self._event = None
 
-    def _arm(self) -> None:
-        self._event = self._kernel.schedule_in(self.period_us, self._fire, label="vsync")
+    def request(self) -> None:
+        """Ensure the next grid-aligned tick is armed (demand mode).
+
+        Called by the browser when it creates work a tick must service
+        (dirty state, a rAF request, an animation).  No-op while a tick
+        is already pending — in particular always in continuous mode.
+        """
+        if not self._running or self.armed:
+            return
+        elapsed = self._kernel.now_us - self._origin_us
+        self._arm_at(
+            self._origin_us + (elapsed // self.period_us + 1) * self.period_us
+        )
+
+    def _arm_at(self, time_us: int) -> None:
+        self._event = self._kernel.schedule_at(time_us, self._fire, label="vsync")
 
     def _fire(self) -> None:
         if not self._running:
             return
         self._tick_count += 1
+        self._event = None
         # Re-arm before the handler so a long handler cannot drift the
-        # phase: ticks stay on the fixed 60 Hz grid.
-        self._arm()
+        # phase: ticks stay on the fixed 60 Hz grid.  In demand mode an
+        # idle tick stops the chain; request() restarts it on-grid.
+        if self._demand is None or self._demand():
+            self._arm_at(self._kernel.now_us + self.period_us)
         self._on_tick(self._kernel.now_us)
+        if self._event is None and self._demand is not None and self._demand():
+            # The handler itself created fresh demand on an idle tick.
+            self._arm_at(self._kernel.now_us + self.period_us)

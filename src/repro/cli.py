@@ -26,6 +26,7 @@ import tempfile
 from repro.core.qos import UsageScenario
 from repro.errors import ReproError
 from repro.evaluation.runner import GOVERNORS, run_workload
+from repro.sim.tracing import TRACE_LEVELS
 from repro.workloads.registry import APP_NAMES, build_app, table3_specs
 
 
@@ -48,6 +49,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         UsageScenario(args.scenario),
         trace_kind=args.trace,
         seed=args.seed,
+        trace_level=args.trace_level,
     )
     print(f"app:            {result.app} ({result.trace_kind} trace, seed {args.seed})")
     print(f"governor:       {result.governor} / {result.scenario}")
@@ -216,6 +218,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         shard_size=args.shard_size,
         max_retries=args.max_retries,
         shard_timeout_s=args.shard_timeout,
+        trace_level=args.trace_level,
     )
     if args.json_out:
         # Fail fast on an unwritable output path before burning minutes
@@ -289,6 +292,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario", default="imperceptible", choices=["imperceptible", "usable"]
     )
     run_parser.add_argument("--trace", default="micro", choices=["micro", "full"])
+    run_parser.add_argument(
+        "--trace-level", default="full", choices=list(TRACE_LEVELS),
+        help="tracing cost level: full (retain + index), gated (stream "
+        "to metric folds only, constant memory), off (no tracing; "
+        "trace-derived metrics read as empty).  Results are identical "
+        "between full and gated (default: full)",
+    )
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument(
         "--export-trace",
@@ -344,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument(
         "--shard-timeout", type=float, default=300.0,
         help="per-shard wall-clock deadline in seconds (default: 300)",
+    )
+    fleet_parser.add_argument(
+        "--trace-level", default="gated", choices=list(TRACE_LEVELS),
+        help="per-session tracing level (default: gated — streaming "
+        "folds keep memory constant; aggregates identical to full)",
     )
     fleet_parser.set_defaults(fn=_cmd_fleet)
 

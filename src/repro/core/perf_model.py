@@ -110,6 +110,11 @@ class ClusterModelSet:
     def has(self, cluster: str) -> bool:
         return cluster in self._models
 
+    def get_or_none(self, cluster: str) -> "PerfModelCoefficients | None":
+        """Like :meth:`get` but ``None`` instead of raising (the
+        predictor's sweep probes every cluster on every prediction)."""
+        return self._models.get(cluster)
+
     def predict_us(self, config: CpuConfig) -> float:
         """Predicted latency at an arbitrary configuration."""
         return self.get(config.cluster).predict_us(config.freq_mhz)

@@ -35,6 +35,12 @@ class ConfigPredictor:
 
     def __init__(self, power_table: PowerTable) -> None:
         self._power = power_table
+        # The sweep below runs on every prediction; pre-pair each
+        # config with its busy power so the hot loop is lookup-free.
+        self._sweep: list[tuple[CpuConfig, float]] = [
+            (config, power_table.busy_power_w(config))
+            for config in power_table.configs()
+        ]
 
     def predict(
         self, models: ClusterModelSet, target_ms: float
@@ -56,22 +62,23 @@ class ConfigPredictor:
         if target_ms <= 0:
             raise RuntimeModelError(f"non-positive QoS target: {target_ms} ms")
         target_us = target_ms * 1_000.0
-        best: Optional[Prediction] = None
-        fastest: Optional[Prediction] = None
-        evaluated = 0
-        for config in self._power.configs():
-            if not models.has(config.cluster):
+        best: Optional[tuple[CpuConfig, float, float]] = None
+        fastest: Optional[tuple[CpuConfig, float, float]] = None
+        for config, busy_power_w in self._sweep:
+            model = models.get_or_none(config.cluster)
+            if model is None:
                 continue
-            evaluated += 1
-            latency = models.predict_us(config)
-            energy = self._power.frame_energy_j(config, latency)
-            candidate = Prediction(config, latency, energy, latency <= target_us)
-            if fastest is None or candidate.latency_us < fastest.latency_us:
-                fastest = candidate
-            if candidate.meets_target and (best is None or candidate.energy_j < best.energy_j):
-                best = candidate
-        if evaluated == 0 or fastest is None:
+            # Same arithmetic (and float association order) as
+            # ClusterModelSet.predict_us / PowerTable.frame_energy_j.
+            latency = model.t_independent_us + model.n_cycles / config.freq_mhz
+            energy = busy_power_w * latency * 1e-6
+            if fastest is None or latency < fastest[1]:
+                fastest = (config, latency, energy)
+            if latency <= target_us and (best is None or energy < best[2]):
+                best = (config, latency, energy)
+        if fastest is None:
             raise RuntimeModelError(
                 "no configuration could be evaluated: missing cluster models"
             )
-        return best if best is not None else fastest
+        config, latency, energy = best if best is not None else fastest
+        return Prediction(config, latency, energy, latency <= target_us)

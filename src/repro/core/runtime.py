@@ -259,16 +259,17 @@ class GreenWebRuntime(BrowserPolicy):
         observed_us = float(frame.max_latency_us)
         target_us = spec.target_ms(self.scenario) * 1_000.0
 
-        self.platform.trace.emit(
-            self.platform.kernel.now_us,
-            "greenweb",
-            "observe",
-            key=key,
-            phase=state.phase.value,
-            observed_us=int(observed_us),
-            target_us=int(target_us),
-            violated=observed_us > target_us,
-        )
+        if self.platform.trace.wants("greenweb"):
+            self.platform.trace.emit(
+                self.platform.kernel.now_us,
+                "greenweb",
+                "observe",
+                key=key,
+                phase=state.phase.value,
+                observed_us=int(observed_us),
+                target_us=int(target_us),
+                violated=observed_us > target_us,
+            )
         if state.phase is _Phase.PROFILE_MAX:
             state.profile_buffer.append(observed_us)
             if len(state.profile_buffer) >= self._profile_frames_needed(spec):
@@ -368,18 +369,19 @@ class GreenWebRuntime(BrowserPolicy):
         requested = self._apply_boost(prediction.config, state.boost)
         predicted_at_requested = state.models.predict_us(requested)
         state.last_requested = (requested, predicted_at_requested)
-        self.platform.trace.emit(
-            self.platform.kernel.now_us,
-            "greenweb",
-            "predict",
-            key=key,
-            target_ms=spec.target_ms(self.scenario),
-            config=str(requested),
-            predicted_us=round(predicted_at_requested, 1),
-            predicted_energy_j=round(prediction.energy_j, 9),
-            meets_target=prediction.meets_target,
-            boost=state.boost,
-        )
+        if self.platform.trace.wants("greenweb"):
+            self.platform.trace.emit(
+                self.platform.kernel.now_us,
+                "greenweb",
+                "predict",
+                key=key,
+                target_ms=spec.target_ms(self.scenario),
+                config=str(requested),
+                predicted_us=round(predicted_at_requested, 1),
+                predicted_energy_j=round(prediction.energy_j, 9),
+                meets_target=prediction.meets_target,
+                boost=state.boost,
+            )
         return requested
 
     def _apply_boost(self, config: CpuConfig, boost: int) -> CpuConfig:

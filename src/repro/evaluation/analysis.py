@@ -50,6 +50,36 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     return float(ordered[rank - 1])
 
 
+def timeline_stats_from_latencies(
+    latencies: Sequence[float],
+    first_us: int,
+    last_us: int,
+    vsync_period_us: int = VSYNC_PERIOD_US,
+) -> FrameTimelineStats:
+    """Shared timeline-statistics computation over displayed-frame
+    latencies plus the first/last display timestamps.
+
+    Both :func:`frame_timeline_stats` (post-hoc scan) and the streaming
+    :class:`~repro.evaluation.folds.FrameTimelineFold` call this, so
+    the two paths agree bit for bit.
+    """
+    if not latencies:
+        return FrameTimelineStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+    latencies = [float(latency) for latency in latencies]
+    span_us = max(last_us - first_us, 1)
+    jank = sum(1 for latency in latencies if latency >= 2 * vsync_period_us)
+    return FrameTimelineStats(
+        frame_count=len(latencies),
+        duration_s=span_us / 1e6,
+        latency_p50_us=percentile(latencies, 0.50),
+        latency_p95_us=percentile(latencies, 0.95),
+        latency_p99_us=percentile(latencies, 0.99),
+        latency_max_us=max(latencies),
+        mean_fps=(len(latencies) - 1) / (span_us / 1e6) if len(latencies) > 1 else 0.0,
+        jank_count=jank,
+    )
+
+
 def frame_timeline_stats(
     trace: TraceLog, vsync_period_us: int = VSYNC_PERIOD_US
 ) -> FrameTimelineStats:
@@ -57,18 +87,11 @@ def frame_timeline_stats(
     frames = trace.filter(category="frame", name="displayed")
     if not frames:
         return FrameTimelineStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
-    latencies = [float(f["max_latency_us"]) for f in frames]
-    span_us = max(frames[-1].time_us - frames[0].time_us, 1)
-    jank = sum(1 for latency in latencies if latency >= 2 * vsync_period_us)
-    return FrameTimelineStats(
-        frame_count=len(frames),
-        duration_s=span_us / 1e6,
-        latency_p50_us=percentile(latencies, 0.50),
-        latency_p95_us=percentile(latencies, 0.95),
-        latency_p99_us=percentile(latencies, 0.99),
-        latency_max_us=max(latencies),
-        mean_fps=(len(frames) - 1) / (span_us / 1e6) if len(frames) > 1 else 0.0,
-        jank_count=jank,
+    return timeline_stats_from_latencies(
+        [float(f["max_latency_us"]) for f in frames],
+        frames[0].time_us,
+        frames[-1].time_us,
+        vsync_period_us,
     )
 
 

@@ -1,0 +1,187 @@
+"""Streaming trace consumers ("folds").
+
+A fold subscribes to a :class:`~repro.sim.tracing.TraceLog` and
+accumulates a metric *while the run executes*, so the evaluation runner
+and fleet workers no longer need the full trace retained in memory:
+with a gated, non-retaining log the per-session footprint is constant
+no matter how long the session runs.
+
+Every fold reproduces the corresponding post-hoc scan **exactly** —
+same algorithm, same float association order — which is what keeps
+figure and fleet-aggregate JSON byte-identical across trace levels
+(asserted by tests).  Each fold declares the trace categories it
+consumes in ``categories``; a gated log's allowlist must cover the
+union of its attached folds' categories (see
+:func:`gated_categories_for`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.hardware.dvfs import CpuConfig
+from repro.sim.tracing import TraceLog, TraceRecord
+
+
+class TraceFold:
+    """Base class: a live trace subscriber that folds records into a
+    constant-size accumulator."""
+
+    #: trace categories this fold reads; everything else is ignored.
+    categories: frozenset[str] = frozenset()
+
+    def attach(self, trace: TraceLog) -> "TraceFold":
+        """Subscribe to ``trace`` and return self (for chaining)."""
+        trace.subscribe(self.on_record)
+        return self
+
+    def on_record(self, record: TraceRecord) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def replay(self, trace: TraceLog) -> "TraceFold":
+        """Fold a *retained* trace after the fact (post-hoc parity path:
+        feeding a full log through ``replay`` gives the same state as
+        having been attached for the whole run)."""
+        for record in trace.records:
+            if record.category in self.categories:
+                self.on_record(record)
+        return self
+
+
+def gated_categories_for(*folds: TraceFold) -> frozenset[str]:
+    """The category allowlist a gated log needs to feed ``folds``."""
+    out: frozenset[str] = frozenset()
+    for fold in folds:
+        out = out | fold.categories
+    return out
+
+
+class ConfigTimelineFold(TraceFold):
+    """Collects ``config/applied`` events; answers the Fig. 11
+    residency questions without the full trace.
+
+    Memory is O(configuration switches), not O(records).
+    """
+
+    categories = frozenset({"config"})
+
+    def __init__(self) -> None:
+        self.applied: list[tuple[int, CpuConfig]] = []
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.category == "config" and record.name == "applied":
+            self.applied.append(
+                (record.time_us, CpuConfig(record["cluster"], record["freq_mhz"]))
+            )
+
+    def residency(
+        self, start_us: int, end_us: int, initial: CpuConfig
+    ) -> dict[CpuConfig, float]:
+        """Identical to :func:`repro.evaluation.metrics.config_residency`
+        on the same run's trace."""
+        from repro.evaluation.metrics import residency_from_applied
+
+        return residency_from_applied(self.applied, start_us, end_us, initial)
+
+    def windowed(
+        self, windows: Sequence[tuple[int, int]], initial: CpuConfig
+    ) -> dict[CpuConfig, float]:
+        """Identical to
+        :func:`repro.evaluation.metrics.windowed_config_residency`."""
+        from repro.evaluation.metrics import windowed_residency_from_applied
+
+        return windowed_residency_from_applied(self.applied, windows, initial)
+
+
+class SwitchingCountsFold(TraceFold):
+    """Counts DVFS actions (Fig. 12's numerators) from the stream."""
+
+    categories = frozenset({"dvfs"})
+
+    def __init__(self) -> None:
+        self.freq_switches = 0
+        self.migrations = 0
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.category != "dvfs":
+            return
+        if record.name == "freq_switch":
+            self.freq_switches += 1
+        elif record.name == "migrate":
+            self.migrations += 1
+
+
+class FrameTimelineFold(TraceFold):
+    """Accumulates displayed-frame latencies for timeline statistics.
+
+    Memory is O(frames) floats instead of O(records) objects; the
+    resulting :class:`~repro.evaluation.analysis.FrameTimelineStats`
+    matches the post-hoc scan bit for bit.
+    """
+
+    categories = frozenset({"frame"})
+
+    def __init__(self) -> None:
+        self.latencies_us: list[float] = []
+        self.first_us: Optional[int] = None
+        self.last_us: Optional[int] = None
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.category == "frame" and record.name == "displayed":
+            self.latencies_us.append(float(record["max_latency_us"]))
+            if self.first_us is None:
+                self.first_us = record.time_us
+            self.last_us = record.time_us
+
+    def stats(self, vsync_period_us: Optional[int] = None):
+        """Identical to
+        :func:`repro.evaluation.analysis.frame_timeline_stats`."""
+        from repro.browser.vsync import VSYNC_PERIOD_US
+        from repro.evaluation.analysis import timeline_stats_from_latencies
+
+        return timeline_stats_from_latencies(
+            self.latencies_us,
+            self.first_us or 0,
+            self.last_us or 0,
+            vsync_period_us if vsync_period_us is not None else VSYNC_PERIOD_US,
+        )
+
+
+class PredictionAccuracyFold(TraceFold):
+    """Pairs GreenWeb ``predict`` records with stable-phase ``observe``
+    records as they stream by (Sec. 6.2's model, judged)."""
+
+    categories = frozenset({"greenweb"})
+
+    def __init__(self) -> None:
+        self._pending: dict[str, float] = {}
+        self.errors: list[float] = []
+        self.under_predictions = 0
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.category != "greenweb":
+            return
+        if record.name == "predict":
+            self._pending[record["key"]] = float(record["predicted_us"])
+        elif record.name == "observe" and record["phase"] == "stable":
+            predicted = self._pending.pop(record["key"], None)
+            if predicted is None or predicted <= 0:
+                return
+            observed = float(record["observed_us"])
+            self.errors.append(abs(observed - predicted) / predicted)
+            if observed > predicted:
+                self.under_predictions += 1
+
+    def result(self):
+        """Identical to
+        :func:`repro.evaluation.analysis.prediction_accuracy`."""
+        from repro.evaluation.analysis import PredictionAccuracy, percentile
+
+        if not self.errors:
+            return PredictionAccuracy(0, 0.0, 0.0, 0)
+        return PredictionAccuracy(
+            pairs=len(self.errors),
+            mean_abs_rel_error=sum(self.errors) / len(self.errors),
+            p90_abs_rel_error=percentile(self.errors, 0.9),
+            under_predictions=self.under_predictions,
+        )

@@ -60,24 +60,37 @@ def mean_violation_pct(violations: Sequence[Optional[float]]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
-def config_residency(
-    trace: TraceLog, start_us: int, end_us: int, initial: CpuConfig
-) -> dict[CpuConfig, float]:
-    """Fraction of wall time spent in each <cluster, frequency>
-    configuration over [start_us, end_us] (Fig. 11's distribution).
+def applied_configs(trace: TraceLog) -> list[tuple[int, CpuConfig]]:
+    """The run's ``config/applied`` events as an ordered
+    ``(time_us, config)`` list — the compact form both the post-hoc
+    scans below and the streaming
+    :class:`~repro.evaluation.folds.ConfigTimelineFold` operate on."""
+    return [
+        (record.time_us, CpuConfig(record["cluster"], record["freq_mhz"]))
+        for record in trace.filter(category="config", name="applied")
+    ]
 
-    Reads the platform's ``config/applied`` trace records; ``initial``
-    is the configuration in force at ``start_us``.
+
+def residency_from_applied(
+    applied: Sequence[tuple[int, CpuConfig]],
+    start_us: int,
+    end_us: int,
+    initial: CpuConfig,
+) -> dict[CpuConfig, float]:
+    """Shared residency computation over an applied-config timeline.
+
+    Both :func:`config_residency` (post-hoc scan) and the streaming
+    fold call this, so the two paths associate floats in the same order
+    and agree bit for bit.
     """
     if end_us <= start_us:
         raise EvaluationError("empty residency window")
     timeline: list[tuple[int, CpuConfig]] = [(start_us, initial)]
-    for record in trace.filter(category="config", name="applied"):
-        config = CpuConfig(record["cluster"], record["freq_mhz"])
-        if record.time_us <= start_us:
+    for time_us, config in applied:
+        if time_us <= start_us:
             timeline[0] = (start_us, config)
-        elif record.time_us <= end_us:
-            timeline.append((record.time_us, config))
+        elif time_us <= end_us:
+            timeline.append((time_us, config))
     timeline.append((end_us, timeline[-1][1]))
 
     residency: dict[CpuConfig, float] = {}
@@ -89,18 +102,26 @@ def config_residency(
     return residency
 
 
-def windowed_config_residency(
-    trace: TraceLog,
+def config_residency(
+    trace: TraceLog, start_us: int, end_us: int, initial: CpuConfig
+) -> dict[CpuConfig, float]:
+    """Fraction of wall time spent in each <cluster, frequency>
+    configuration over [start_us, end_us] (Fig. 11's distribution).
+
+    Reads the platform's ``config/applied`` trace records; ``initial``
+    is the configuration in force at ``start_us``.
+    """
+    return residency_from_applied(applied_configs(trace), start_us, end_us, initial)
+
+
+def windowed_residency_from_applied(
+    applied: Sequence[tuple[int, CpuConfig]],
     windows: Sequence[tuple[int, int]],
     initial: CpuConfig,
 ) -> dict[CpuConfig, float]:
-    """Config residency restricted to the union of time windows —
-    the per-interaction view of Fig. 11 (idle gaps between interactions
-    would otherwise swamp the distribution)."""
-    applied = [(0, initial)] + [
-        (r.time_us, CpuConfig(r["cluster"], r["freq_mhz"]))
-        for r in trace.filter(category="config", name="applied")
-    ]
+    """Shared windowed-residency computation (see
+    :func:`residency_from_applied` for why it is factored out)."""
+    applied = [(0, initial)] + list(applied)
     weights: dict[CpuConfig, float] = {}
     total = 0
     for start, end in windows:
@@ -127,6 +148,17 @@ def windowed_config_residency(
     if total <= 0:
         return {}
     return {config: weight / total for config, weight in weights.items()}
+
+
+def windowed_config_residency(
+    trace: TraceLog,
+    windows: Sequence[tuple[int, int]],
+    initial: CpuConfig,
+) -> dict[CpuConfig, float]:
+    """Config residency restricted to the union of time windows —
+    the per-interaction view of Fig. 11 (idle gaps between interactions
+    would otherwise swamp the distribution)."""
+    return windowed_residency_from_applied(applied_configs(trace), windows, initial)
 
 
 def cluster_residency(residency: dict[CpuConfig, float]) -> dict[str, float]:

@@ -26,15 +26,12 @@ from repro.core.governors import (
 from repro.core.qos import QoSSpec, UsageScenario
 from repro.core.runtime import GreenWebRuntime
 from repro.errors import EvaluationError
-from repro.evaluation.metrics import (
-    config_residency,
-    event_violation_pct,
-    mean_violation_pct,
-    windowed_config_residency,
-)
+from repro.evaluation.folds import ConfigTimelineFold
+from repro.evaluation.metrics import event_violation_pct, mean_violation_pct
 from repro.hardware.dvfs import CpuConfig
 from repro.hardware.platform import odroid_xu_e
 from repro.sim.clock import s_to_us
+from repro.sim.tracing import TraceLog
 from repro.workloads.interactions import InteractionDriver
 from repro.workloads.registry import build_app
 
@@ -172,6 +169,7 @@ def run_workload(
     seed: int = 0,
     settle_s: float = 4.0,
     runtime_kwargs: Optional[dict] = None,
+    trace_level: str = "full",
 ) -> RunResult:
     """Run one experiment cell and return its measurements.
 
@@ -187,6 +185,13 @@ def run_workload(
         settle_s: wall-clock tail after the last input.
         runtime_kwargs: extra :class:`GreenWebRuntime` arguments
             (ablation knobs).
+        trace_level: :data:`repro.sim.tracing.TRACE_LEVELS` member.
+            Every metric in the returned :class:`RunResult` is fed by
+            streaming folds over the ``input``/``config`` categories
+            (or by non-trace counters), so ``"full"`` and ``"gated"``
+            produce identical results — ``"gated"`` just never retains
+            the records.  ``"off"`` disables tracing entirely and
+            zeroes the trace-derived fields (active energy, residency).
     """
     bundle = build_app(app, seed)
     if trace_kind == "micro":
@@ -196,10 +201,13 @@ def run_workload(
     else:
         raise EvaluationError(f"unknown trace kind {trace_kind!r}")
 
-    platform = odroid_xu_e(record_power_intervals=False)
+    platform = odroid_xu_e(
+        record_power_intervals=False, trace=TraceLog.for_level(trace_level)
+    )
     registry = AnnotationRegistry.from_stylesheet(bundle.page.stylesheet)
     policy = make_policy(governor, platform, registry, scenario, runtime_kwargs)
     browser = Browser(platform, bundle.page, policy=policy)
+    config_fold = ConfigTimelineFold().attach(platform.trace)
     accountant = _ActiveWindowAccountant(platform)
     driver = InteractionDriver(browser)
 
@@ -237,11 +245,14 @@ def run_workload(
         else:
             violations.append(event_violation_pct(record, spec, scenario))
 
-    residency = config_residency(
-        platform.trace, 0, platform.kernel.now_us, initial=CpuConfig("big", 1800)
+    # Residency comes from the streaming fold rather than a post-hoc
+    # trace scan, so a non-retaining ("gated") log yields the same
+    # numbers as "full" — see repro.evaluation.folds.
+    residency = config_fold.residency(
+        0, platform.kernel.now_us, initial=CpuConfig("big", 1800)
     )
-    active_residency = windowed_config_residency(
-        platform.trace, accountant.windows, initial=CpuConfig("big", 1800)
+    active_residency = config_fold.windowed(
+        accountant.windows, initial=CpuConfig("big", 1800)
     )
     runtime_stats = None
     if isinstance(policy, GreenWebRuntime):
@@ -323,7 +334,7 @@ def run_workload_job(spec: dict) -> dict:
     argument and the return value are built from picklable primitives
     only.  Recognised keys (all but ``app`` optional): ``app``,
     ``governor``, ``scenario``, ``trace_kind``, ``seed``, ``settle_s``,
-    ``runtime_kwargs``.
+    ``runtime_kwargs``, ``trace_level``.
     """
     result = run_workload(
         spec["app"],
@@ -333,5 +344,6 @@ def run_workload_job(spec: dict) -> dict:
         seed=int(spec.get("seed", 0)),
         settle_s=float(spec.get("settle_s", 4.0)),
         runtime_kwargs=spec.get("runtime_kwargs"),
+        trace_level=spec.get("trace_level", "full"),
     )
     return run_result_to_dict(result)

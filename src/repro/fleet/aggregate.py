@@ -87,14 +87,29 @@ class Histogram:
                 f"histogram has {len(self.counts)} counts for {self.buckets} buckets"
             )
 
+    def edge(self, index: int) -> float:
+        """The lower edge of bucket ``index`` (``edge(buckets) == hi``);
+        bucket ``i`` covers ``[edge(i), edge(i+1))``."""
+        return self.lo + (self.hi - self.lo) * index / self.buckets
+
     def add(self, value: float) -> None:
         if value < self.lo:
             self.underflow += 1
         elif value >= self.hi:
             self.overflow += 1
         else:
+            # The multiply-divide estimate can land one bucket off near
+            # an edge (and round to index == buckets for values just
+            # below hi); clamp, then nudge until the bucket's half-open
+            # range actually contains the value.
             index = int((value - self.lo) / (self.hi - self.lo) * self.buckets)
-            self.counts[min(index, self.buckets - 1)] += 1
+            if index >= self.buckets:
+                index = self.buckets - 1
+            while index > 0 and value < self.edge(index):
+                index -= 1
+            while index + 1 < self.buckets and value >= self.edge(index + 1):
+                index += 1
+            self.counts[index] += 1
 
     def merge(self, other: "Histogram") -> None:
         if (other.lo, other.hi, other.buckets) != (self.lo, self.hi, self.buckets):

@@ -153,7 +153,10 @@ class Fleet:
         payload = {
             "shard": shard.index,
             "attempt": attempt,
-            "sessions": [spec.to_job(self.spec.settle_s) for spec in shard.sessions],
+            "sessions": [
+                spec.to_job(self.spec.settle_s, self.spec.trace_level)
+                for spec in shard.sessions
+            ],
         }
         if self.spec.inject_crash is not None:
             payload["inject_crash"] = self.spec.inject_crash

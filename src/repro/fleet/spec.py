@@ -21,6 +21,7 @@ from repro.core.qos import UsageScenario
 from repro.errors import EvaluationError
 from repro.evaluation.runner import GOVERNORS
 from repro.sim.random import RngStreams, derive_seed
+from repro.sim.tracing import TRACE_LEVELS
 from repro.workloads.registry import APP_NAMES
 
 #: Shard size used when a spec does not choose one.  Small enough that a
@@ -132,9 +133,15 @@ class SessionSpec:
     trace_kind: str
     seed: int
 
-    def to_job(self, settle_s: float = 4.0) -> dict:
+    def to_job(self, settle_s: float = 4.0, trace_level: str = "gated") -> dict:
         """The picklable :func:`repro.evaluation.runner.run_workload_job`
-        argument for this session."""
+        argument for this session.
+
+        Fleet sessions default to ``"gated"`` tracing: every aggregated
+        metric is computed by streaming folds, so the result is
+        identical to ``"full"`` while per-session memory stays constant
+        (nobody reads a fleet session's raw trace).
+        """
         return {
             "app": self.app,
             "governor": self.governor,
@@ -142,6 +149,7 @@ class SessionSpec:
             "trace_kind": self.trace_kind,
             "seed": self.seed,
             "settle_s": settle_s,
+            "trace_level": trace_level,
         }
 
 
@@ -167,6 +175,10 @@ class FleetSpec:
     max_retries: int = 1
     shard_timeout_s: float = 300.0
     settle_s: float = 4.0
+    #: tracing level for every session (see
+    #: :data:`repro.sim.tracing.TRACE_LEVELS`); ``"gated"`` keeps
+    #: per-session memory constant without changing any aggregate.
+    trace_level: str = "gated"
     #: test-only fault injection, e.g. ``{"shard": 2, "attempts": 1}``
     #: (fail the first attempt of shard 2) with optional ``"mode"`` of
     #: ``"raise"`` (default) or ``"sleep"`` (hang past the timeout);
@@ -182,6 +194,10 @@ class FleetSpec:
             raise EvaluationError(f"max_retries must be >= 0, got {self.max_retries}")
         if not self.mix:
             raise EvaluationError("fleet mix must not be empty")
+        if self.trace_level not in TRACE_LEVELS:
+            raise EvaluationError(
+                f"unknown trace level {self.trace_level!r}; known: {list(TRACE_LEVELS)}"
+            )
         for entry in self.mix:
             entry.validate()
 

@@ -101,14 +101,15 @@ class DvfsController:
             self.freq_switches += 1
             overhead = self.freq_switch_overhead_us
 
-        platform.trace.emit(
-            platform.kernel.now_us,
-            "dvfs",
-            "migrate" if migrating else "freq_switch",
-            frm=str(platform.config),
-            to=str(config),
-            overhead_us=overhead,
-        )
+        if platform.trace.wants("dvfs"):
+            platform.trace.emit(
+                platform.kernel.now_us,
+                "dvfs",
+                "migrate" if migrating else "freq_switch",
+                frm=str(platform.config),
+                to=str(config),
+                overhead_us=overhead,
+            )
 
         self._pending_target = config
         platform._pause_all_contexts()

@@ -73,6 +73,7 @@ class MobilePlatform:
 
         self._contexts: list[ExecutionContext] = []
         self._busy: set[ExecutionContext] = set()
+        self._power_cache: dict = {}
         self._paused_depth = 0
         self._busy_observers: list = []
         #: opt-in: emit a "task/span" trace record for every completed
@@ -251,12 +252,28 @@ class MobilePlatform:
         return len(self._busy)
 
     def current_power(self) -> PowerBreakdown:
-        """Instantaneous platform power for the current state."""
-        rows = []
-        for name, cluster in self._clusters.items():
-            busy = len(self._busy) if name == self._active_name else 0
-            rows.append((cluster.spec, cluster.opp, busy, cluster.powered))
-        return self.power_model.breakdown(rows)
+        """Instantaneous platform power for the current state.
+
+        Memoized: power depends only on (active cluster, busy count,
+        per-cluster powered/frequency), a state space of a few dozen
+        points that the busy/idle churn revisits constantly.
+        """
+        key = (
+            self._active_name,
+            len(self._busy),
+            tuple(
+                (cluster.powered, cluster.opp.freq_mhz)
+                for cluster in self._clusters.values()
+            ),
+        )
+        cached = self._power_cache.get(key)
+        if cached is None:
+            rows = []
+            for name, cluster in self._clusters.items():
+                busy = len(self._busy) if name == self._active_name else 0
+                rows.append((cluster.spec, cluster.opp, busy, cluster.powered))
+            cached = self._power_cache[key] = self.power_model.breakdown(rows)
+        return cached
 
     def _notify_power_change(self) -> None:
         self.meter.on_power_change(self.kernel.now_us, self.current_power())

@@ -26,6 +26,7 @@ from repro.core.qos import UsageScenario
 from repro.errors import EvaluationError
 from repro.evaluation.runner import GOVERNORS, RunResult, make_policy, run_workload
 from repro.hardware.platform import MobilePlatform, odroid_xu_e
+from repro.sim.tracing import TRACE_LEVELS
 from repro.workloads.registry import APP_NAMES
 
 
@@ -50,14 +51,20 @@ class Session:
         scenario: "UsageScenario | str" = UsageScenario.IMPERCEPTIBLE,
         seed: int = 0,
         runtime_kwargs: Optional[dict] = None,
+        trace_level: str = "full",
     ) -> None:
         if governor not in GOVERNORS:
             raise EvaluationError(f"unknown governor {governor!r}; known: {list(GOVERNORS)}")
+        if trace_level not in TRACE_LEVELS:
+            raise EvaluationError(
+                f"unknown trace level {trace_level!r}; known: {list(TRACE_LEVELS)}"
+            )
         self.app_name = app_name
         self.governor = governor
         self.scenario = _coerce_scenario(scenario)
         self.seed = seed
         self.runtime_kwargs = runtime_kwargs
+        self.trace_level = trace_level
 
     # ------------------------------------------------------------------
     # Construction
@@ -109,6 +116,7 @@ class Session:
             seed=self.seed,
             settle_s=settle_s,
             runtime_kwargs=self.runtime_kwargs,
+            trace_level=self.trace_level,
         )
 
     def run_full_interaction(self, settle_s: float = 4.0) -> RunResult:
@@ -121,6 +129,7 @@ class Session:
             seed=self.seed,
             settle_s=settle_s,
             runtime_kwargs=self.runtime_kwargs,
+            trace_level=self.trace_level,
         )
 
     # ------------------------------------------------------------------
@@ -139,6 +148,7 @@ class Session:
             "trace_kind": trace_kind,
             "seed": self.seed,
             "settle_s": settle_s,
+            "trace_level": self.trace_level,
         }
         if self.runtime_kwargs:
             job["runtime_kwargs"] = dict(self.runtime_kwargs)

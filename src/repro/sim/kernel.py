@@ -22,19 +22,17 @@ O(1) (the heap entry is tombstoned and skipped on pop).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import SchedulingError
 
 Action = Callable[[], None]
 
-
-@dataclass(order=True)
-class _HeapEntry:
-    time_us: int
-    seq: int
-    event: "ScheduledEvent" = field(compare=False)
+# Heap entries are plain (time_us, seq, event) tuples: the unique seq
+# breaks every tie, so comparison never reaches the event object, and
+# tuple comparison is several times cheaper than a dataclass with
+# generated __lt__ — the heap push/pop pair is the kernel's hot path.
+_HeapEntry = tuple[int, int, "ScheduledEvent"]
 
 
 class ScheduledEvent:
@@ -113,7 +111,7 @@ class Kernel:
     @property
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if e.event.pending)
+        return sum(1 for _t, _s, event in self._heap if event.pending)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -129,7 +127,7 @@ class Kernel:
                 f"cannot schedule at {time_us}us; clock is already at {self._now_us}us"
             )
         event = ScheduledEvent(time_us, action, label)
-        heapq.heappush(self._heap, _HeapEntry(time_us, self._seq, event))
+        heapq.heappush(self._heap, (time_us, self._seq, event))
         self._seq += 1
         return event
 
@@ -149,11 +147,10 @@ class Kernel:
             True if an event fired, False if the queue was empty.
         """
         while self._heap:
-            entry = heapq.heappop(self._heap)
-            event = entry.event
+            time_us, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self._now_us = entry.time_us
+            self._now_us = time_us
             event._fired = True
             self._events_fired += 1
             event.action()
@@ -175,15 +172,14 @@ class Kernel:
             raise SchedulingError("kernel is not reentrant: run_until called from an action")
         self._running = True
         try:
-            while self._heap:
-                entry = self._heap[0]
-                if entry.time_us > deadline_us:
+            heap = self._heap
+            while heap:
+                if heap[0][0] > deadline_us:
                     break
-                heapq.heappop(self._heap)
-                event = entry.event
+                time_us, _seq, event = heapq.heappop(heap)
                 if event.cancelled:
                     continue
-                self._now_us = entry.time_us
+                self._now_us = time_us
                 event._fired = True
                 self._events_fired += 1
                 event.action()
@@ -229,11 +225,10 @@ class Kernel:
 
     def _step_unlocked(self) -> bool:
         while self._heap:
-            entry = heapq.heappop(self._heap)
-            event = entry.event
+            time_us, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self._now_us = entry.time_us
+            self._now_us = time_us
             event._fired = True
             self._events_fired += 1
             event.action()

@@ -66,5 +66,11 @@ class RngStreams:
         return self._streams[name]
 
     def fork(self, name: str) -> "RngStreams":
-        """Derive a child factory (for per-application sub-seeding)."""
-        return RngStreams(seed=(self._seed * 1_000_003 + _stable_hash(name)) % (2**63))
+        """Derive a child factory (for per-application sub-seeding).
+
+        The child seed goes through the same documented SeedSequence
+        path as every other derivation (:func:`derive_seed`), not an
+        ad-hoc multiply-add mix: forks are decorrelated from their
+        siblings and from the parent's own streams by construction.
+        """
+        return RngStreams(seed=derive_seed(self._seed, name))

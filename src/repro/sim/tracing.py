@@ -5,12 +5,40 @@ name, payload dict).  The evaluation harness computes every paper metric
 from traces rather than from ad-hoc counters, which keeps the
 measurement path uniform across governors and makes tests able to
 assert on the exact sequence of platform decisions.
+
+Because the measurement path *is* the hot path at population scale, a
+``TraceLog`` supports three cost levels (see :meth:`TraceLog.for_level`):
+
+* ``"full"`` — every record is constructed, retained in memory, and
+  indexed per ``(category, name)`` so :meth:`filter`/:meth:`count`
+  touch only matching records instead of scanning the whole log;
+* ``"gated"`` — only an allowlisted set of categories is constructed
+  and records are *not* retained: they flow to subscribers (streaming
+  folds, see :mod:`repro.evaluation.folds`) and are dropped, so memory
+  per session is constant;
+* ``"off"`` — every emit is a no-op.
+
+Hot emit sites should guard expensive payload construction with
+:meth:`TraceLog.wants` so a gated or disabled log skips the formatting
+work entirely, not just the record append.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.errors import SimulationError
+
+#: The trace levels :meth:`TraceLog.for_level` accepts.
+TRACE_LEVELS: tuple[str, ...] = ("full", "gated", "off")
+
+#: Default category allowlist for level ``"gated"``: what the
+#: evaluation runner's streaming folds consume — input windows (active
+#: energy accounting) and applied configurations (residency).  Every
+#: figure and fleet aggregate derives from these plus non-trace
+#: counters, which is why gating to this set leaves results unchanged.
+GATED_CATEGORIES: frozenset[str] = frozenset({"input", "config"})
 
 
 @dataclass(frozen=True)
@@ -34,23 +62,89 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only in-memory trace with category filters.
+    """Append-only in-memory trace with indexed category filters.
 
-    A ``TraceLog`` may be disabled (``enabled=False``) to make hot loops
-    cheap in benchmarks that do not need the trace.
+    Args:
+        enabled: ``False`` makes every :meth:`emit` a no-op.
+        categories: optional category allowlist ("gating"); records in
+            other categories are never constructed.  ``None`` = all.
+        retain: when ``False``, records are delivered to subscribers
+            but not stored — :meth:`filter`/:meth:`count` see nothing
+            and memory stays constant no matter how long the run is.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[Iterable[str]] = None,
+        retain: bool = True,
+    ) -> None:
         self.enabled = enabled
+        self._categories = frozenset(categories) if categories is not None else None
+        self._retain = retain
         self._records: list[TraceRecord] = []
+        self._by_category: dict[str, list[TraceRecord]] = {}
+        self._by_key: dict[tuple[str, str], list[TraceRecord]] = {}
         self._subscribers: list[Callable[[TraceRecord], None]] = []
 
+    @classmethod
+    def for_level(
+        cls, level: str, categories: Optional[Iterable[str]] = None
+    ) -> "TraceLog":
+        """Build a log for a named cost level.
+
+        ``"full"`` retains and indexes everything; ``"gated"`` keeps
+        only ``categories`` (default :data:`GATED_CATEGORIES`) and only
+        for subscribers; ``"off"`` records nothing at all.
+        """
+        if level == "full":
+            return cls()
+        if level == "gated":
+            return cls(
+                categories=categories if categories is not None else GATED_CATEGORIES,
+                retain=False,
+            )
+        if level == "off":
+            return cls(enabled=False)
+        raise SimulationError(
+            f"unknown trace level {level!r}; known: {list(TRACE_LEVELS)}"
+        )
+
+    @property
+    def retaining(self) -> bool:
+        """Whether emitted records are stored for later scans."""
+        return self._retain
+
+    @property
+    def categories(self) -> Optional[frozenset[str]]:
+        """The category allowlist, or ``None`` when unrestricted."""
+        return self._categories
+
+    def wants(self, category: str) -> bool:
+        """True when a record in ``category`` would be kept — the guard
+        hot emit sites use to skip building payloads nobody will read."""
+        if not self.enabled:
+            return False
+        return self._categories is None or category in self._categories
+
     def emit(self, time_us: int, category: str, name: str, **data: Any) -> None:
-        """Append a record (no-op when disabled)."""
+        """Append a record (no-op when disabled or gated out)."""
         if not self.enabled:
             return
+        if self._categories is not None and category not in self._categories:
+            return
         record = TraceRecord(time_us, category, name, data)
-        self._records.append(record)
+        if self._retain:
+            self._records.append(record)
+            by_category = self._by_category.get(category)
+            if by_category is None:
+                by_category = self._by_category[category] = []
+            by_category.append(record)
+            key = (category, name)
+            by_key = self._by_key.get(key)
+            if by_key is None:
+                by_key = self._by_key[key] = []
+            by_key.append(record)
         for subscriber in self._subscribers:
             subscriber(record)
 
@@ -76,24 +170,42 @@ class TraceLog:
         since_us: int = 0,
         until_us: Optional[int] = None,
     ) -> list[TraceRecord]:
-        """Return records matching the given constraints."""
-        out = []
-        for record in self._records:
-            if category is not None and record.category != category:
-                continue
-            if name is not None and record.name != name:
-                continue
-            if record.time_us < since_us:
-                continue
-            if until_us is not None and record.time_us > until_us:
-                continue
-            out.append(record)
-        return out
+        """Return records matching the given constraints.
+
+        Category/name lookups go through per-``(category, name)``
+        indices, so the cost is proportional to the number of *matching*
+        records, not the full log.
+        """
+        if category is not None and name is not None:
+            candidates = self._by_key.get((category, name), [])
+        elif category is not None:
+            candidates = self._by_category.get(category, [])
+        else:
+            candidates = self._records
+        if name is not None and category is None:
+            candidates = [r for r in candidates if r.name == name]
+        if since_us == 0 and until_us is None:
+            return list(candidates)
+        return [
+            record
+            for record in candidates
+            if record.time_us >= since_us
+            and (until_us is None or record.time_us <= until_us)
+        ]
 
     def count(self, category: Optional[str] = None, name: Optional[str] = None) -> int:
-        """Count records matching the constraints."""
-        return len(self.filter(category=category, name=name))
+        """Count records matching the constraints (index lookup when a
+        category is given; never scans non-matching records)."""
+        if category is not None and name is not None:
+            return len(self._by_key.get((category, name), []))
+        if category is not None:
+            return len(self._by_category.get(category, []))
+        if name is not None:
+            return sum(1 for record in self._records if record.name == name)
+        return len(self._records)
 
     def clear(self) -> None:
         """Drop all records (subscribers stay registered)."""
         self._records.clear()
+        self._by_category.clear()
+        self._by_key.clear()

@@ -49,7 +49,10 @@ class AttributeSelector:
         if self.name == "id":
             actual: "str | None" = element.id or None
         elif self.name == "class":
-            actual = " ".join(sorted(element.classes)) if element.classes else None
+            # Match against the attribute's source-ordered text: with
+            # class="nav active", [class^=nav] must match (a sorted
+            # re-join would yield "active nav" and break ^=/$=/*=).
+            actual = element.class_attr or None
         else:
             actual = element.attributes.get(self.name)
         if actual is None:

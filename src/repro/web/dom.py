@@ -8,12 +8,59 @@ CSS selectors and attaches QoS metadata to (element, event) pairs.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
 
 from repro.errors import DomError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.web.script import Callback
+
+
+class ClassSet(set):
+    """A set of class names that remembers insertion order.
+
+    The DOM-visible ``class`` attribute is ordered text ("nav active"),
+    and attribute selectors like ``[class^=nav]`` match against that
+    text — so the order classes were written in must survive the set
+    representation.  Iteration yields names in insertion order; all set
+    membership operations keep their usual cost.
+    """
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        super().__init__()
+        self._order: list[str] = []
+        if isinstance(names, (set, frozenset)) and not isinstance(names, ClassSet):
+            # A plain set has no meaningful order (and its iteration
+            # order is hash-seed dependent): sort for determinism.
+            names = sorted(names)
+        for name in names:
+            self.add(name)
+
+    def add(self, name: str) -> None:
+        if name not in self:
+            super().add(name)
+            self._order.append(name)
+
+    def discard(self, name: str) -> None:
+        if name in self:
+            super().discard(name)
+            self._order.remove(name)
+
+    def remove(self, name: str) -> None:
+        if name not in self:
+            raise KeyError(name)
+        self.discard(name)
+
+    def update(self, names: Iterable[str]) -> None:
+        for name in names:
+            self.add(name)
+
+    def clear(self) -> None:
+        super().clear()
+        self._order.clear()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._order)
 
 
 class Element:
@@ -23,14 +70,14 @@ class Element:
         self,
         tag: str,
         element_id: str = "",
-        classes: Optional[set[str]] = None,
+        classes: Optional[Iterable[str]] = None,
         attributes: Optional[dict[str, str]] = None,
     ) -> None:
         if not tag or not tag.replace("-", "").isalnum():
             raise DomError(f"invalid tag name: {tag!r}")
         self.tag = tag.lower()
         self.id = element_id
-        self.classes: set[str] = set(classes) if classes else set()
+        self.classes: ClassSet = ClassSet(classes or ())
         self.attributes: dict[str, str] = dict(attributes) if attributes else {}
         self.parent: Optional[Element] = None
         self.children: list[Element] = []
@@ -130,6 +177,12 @@ class Element:
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
+    @property
+    def class_attr(self) -> str:
+        """The ``class`` attribute as source-ordered text ("nav active"),
+        the string attribute selectors match against."""
+        return " ".join(self.classes)
+
     def matches(self, selector: str) -> bool:
         """True if this element matches the CSS ``selector`` string."""
         from repro.web.css.selectors import parse_selector

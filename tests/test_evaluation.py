@@ -115,6 +115,30 @@ class TestResidency:
     def test_windowed_residency_no_windows(self):
         assert windowed_config_residency(TraceLog(), [], CpuConfig("big", 1800)) == {}
 
+    def test_windowed_switch_exactly_on_window_start(self):
+        # The 750 -> big@800 switch lands exactly on the window start:
+        # the new config owns the whole window.
+        residency = windowed_config_residency(
+            self.make_trace(), [(750, 850)], initial=CpuConfig("big", 1800)
+        )
+        assert residency == {CpuConfig("big", 800): pytest.approx(1.0)}
+
+    def test_windowed_switch_exactly_on_window_end(self):
+        # The 750 switch on the window *end* boundary contributes zero
+        # time: the window is owned entirely by the prior config.
+        residency = windowed_config_residency(
+            self.make_trace(), [(650, 750)], initial=CpuConfig("big", 1800)
+        )
+        assert residency == {CpuConfig("little", 600): pytest.approx(1.0)}
+
+    def test_windowed_multiple_switches_before_first_window(self):
+        # Both switches predate the window: only the latest one counts,
+        # and earlier configs must not leak into the result.
+        residency = windowed_config_residency(
+            self.make_trace(), [(900, 1000)], initial=CpuConfig("big", 1800)
+        )
+        assert residency == {CpuConfig("big", 800): pytest.approx(1.0)}
+
     def test_switching_pct(self):
         assert switching_per_frame_pct(5, 5, 50) == (10.0, 10.0)
         assert switching_per_frame_pct(1, 1, 0) == (0.0, 0.0)

@@ -3,6 +3,7 @@
 import json
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.errors import EvaluationError
 from repro.evaluation.runner import run_workload_job
@@ -180,6 +181,45 @@ class TestHistogram:
     def test_rejects_bad_bounds(self):
         with pytest.raises(EvaluationError):
             Histogram(5.0, 5.0, 4)
+
+    def test_value_just_below_hi_lands_in_last_bucket(self):
+        # 0.7 + 0.7*...: float multiply-divide used to round values just
+        # below hi to index == buckets and silently clamp; the edge-safe
+        # index must put math.nextafter(hi, lo) in the last real bucket.
+        import math
+
+        hist = Histogram(lo=0.0, hi=0.7, buckets=7)
+        hist.add(math.nextafter(0.7, 0.0))
+        assert hist.counts[-1] == 1
+        assert hist.overflow == 0
+
+    def test_boundary_values_land_on_their_own_edge(self):
+        hist = Histogram(lo=0.0, hi=1.0, buckets=10)
+        for index in range(10):
+            hist.add(hist.edge(index))
+        assert hist.counts == [1] * 10
+
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_add_agrees_with_explicit_edge_comparison(self, value, lo, span, buckets):
+        hist = Histogram(lo=lo, hi=lo + span, buckets=buckets)
+        hist.add(value)
+        if value < hist.lo:
+            assert (hist.underflow, hist.overflow) == (1, 0)
+            assert sum(hist.counts) == 0
+        elif value >= hist.hi:
+            assert (hist.underflow, hist.overflow) == (0, 1)
+            assert sum(hist.counts) == 0
+        else:
+            assert (hist.underflow, hist.overflow) == (0, 0)
+            assert sum(hist.counts) == 1
+            index = hist.counts.index(1)
+            assert hist.edge(index) <= value
+            assert index == buckets - 1 or value < hist.edge(index + 1)
 
 
 class TestFleetAggregate:

@@ -54,6 +54,44 @@ class TestAttributeSelectors:
         assert parse_selector("[id=x]").matches(element)
         assert parse_selector("[class~=a]").matches(element)
 
+    def test_multi_class_source_order_all_operators(self):
+        # class="nav active": matching must use the attribute's source
+        # order, not a sorted re-join ("active nav").
+        doc = Document()
+        element = doc.create_element("div", classes=["nav", "active"])
+        assert element.class_attr == "nav active"
+        assert parse_selector("[class]").matches(element)
+        assert parse_selector("[class='nav active']").matches(element)
+        assert not parse_selector("[class='active nav']").matches(element)
+        assert parse_selector("[class^=nav]").matches(element)
+        assert not parse_selector("[class^=active]").matches(element)
+        assert parse_selector("[class$=active]").matches(element)
+        assert not parse_selector("[class$=nav]").matches(element)
+        assert parse_selector("[class*='nav act']").matches(element)
+        assert not parse_selector("[class*='active n']").matches(element)
+        assert parse_selector("[class~=nav]").matches(element)
+        assert parse_selector("[class~=active]").matches(element)
+        assert not parse_selector("[class~=na]").matches(element)
+
+    def test_multi_class_order_from_html_markup(self):
+        from repro.web.html import parse_html
+
+        document, _sheet = parse_html('<div id="d" class="zeta alpha"></div>')
+        element = document.get_element_by_id("d")
+        assert element.class_attr == "zeta alpha"
+        assert parse_selector("[class^=zeta]").matches(element)
+        assert parse_selector("[class$=alpha]").matches(element)
+        assert not parse_selector("[class^=alpha]").matches(element)
+
+    def test_class_order_follows_runtime_mutation(self):
+        doc = Document()
+        element = doc.create_element("div", classes=["a"])
+        element.classes.add("b")
+        assert element.class_attr == "a b"
+        element.classes.discard("a")
+        element.classes.add("a")  # re-added classes go to the end
+        assert element.class_attr == "b a"
+
     def test_specificity_counts_like_class(self):
         assert parse_selector("a[href]").specificity() == (0, 1, 1)
         assert parse_selector("[a][b=c]").specificity() == (0, 2, 0)
