@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""CI smoke: interrupt a pooled fleet mid-run, resume, diff against a
+clean single-shot run.
+
+Orchestration (all through the real CLI, in subprocesses):
+
+1. Start ``repro fleet --jobs 2 --checkpoint`` with the test-only
+   ``REPRO_FLEET_INJECT_CRASH`` hook hanging the last two shards, so the
+   run is deterministically "mid-flight" once the first two shards land.
+2. Poll the checkpoint until two shard records are durably on disk,
+   then send SIGINT.  The driver must exit 130 (128+SIGINT) after
+   terminating its workers and flushing the checkpoint.
+3. ``--resume`` the same spec to completion and write its JSON.
+4. Run the identical spec uninterrupted in one shot.
+5. The two JSON files must be byte-identical — the checkpoint/resume
+   path may not perturb a single output byte.
+
+Exits non-zero (with a diagnostic) on any deviation.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SPEC_ARGS = [
+    "fleet", "--sessions", "8", "--shard-size", "2", "--seed", "11",
+    "--mix", "todo:greenweb,cnet:perf",
+]
+HANG = {"shard": [2, 3], "attempts": 99, "mode": "sleep", "sleep_s": 120.0}
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def cli(extra, env=None, timeout=180):
+    merged = dict(os.environ, PYTHONPATH="src", **(env or {}))
+    return subprocess.run(
+        [sys.executable, "-m", "repro"] + SPEC_ARGS + extra,
+        capture_output=True, text=True, cwd=REPO_ROOT, env=merged,
+        timeout=timeout,
+    )
+
+
+def shard_records(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return sum('"kind": "shard"' in line for line in handle)
+    except FileNotFoundError:
+        return 0
+
+
+def interrupt_mid_run(checkpoint: str) -> None:
+    env = dict(os.environ, PYTHONPATH="src",
+               REPRO_FLEET_INJECT_CRASH=json.dumps(HANG))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro"] + SPEC_ARGS
+        + ["--jobs", "2", "--checkpoint", checkpoint],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        cwd=REPO_ROOT, env=env,
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline and shard_records(checkpoint) < 2:
+            time.sleep(0.05)
+        if shard_records(checkpoint) < 2:
+            fail("fleet produced no checkpoint records within 60s")
+        time.sleep(0.5)  # let the hung shards actually get submitted
+        proc.send_signal(signal.SIGINT)
+        stdout, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    if proc.returncode != 128 + signal.SIGINT:
+        fail(
+            f"expected exit {128 + signal.SIGINT} after SIGINT, got "
+            f"{proc.returncode}\nstdout:\n{stdout}\nstderr:\n{stderr}"
+        )
+    if "interrupted: SIGINT" not in stdout:
+        fail(f"missing interruption report in stdout:\n{stdout}")
+    print(f"interrupted at {shard_records(checkpoint)} checkpointed shards, "
+          f"exit {proc.returncode}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="ckpt-smoke-") as tmp:
+        checkpoint = os.path.join(tmp, "fleet.ckpt")
+        resumed_json = os.path.join(tmp, "resumed.json")
+        clean_json = os.path.join(tmp, "clean.json")
+
+        interrupt_mid_run(checkpoint)
+
+        resumed = cli(["--jobs", "2", "--checkpoint", checkpoint, "--resume",
+                       "--json-out", resumed_json])
+        if resumed.returncode != 0:
+            fail(f"resume failed ({resumed.returncode}):\n{resumed.stderr}")
+        if "resumed:" not in resumed.stdout:
+            fail(f"resume did not reload shards:\n{resumed.stdout}")
+        print("resumed run completed cleanly")
+
+        clean = cli(["--json-out", clean_json])
+        if clean.returncode != 0:
+            fail(f"clean run failed ({clean.returncode}):\n{clean.stderr}")
+
+        with open(resumed_json, "rb") as a, open(clean_json, "rb") as b:
+            resumed_bytes, clean_bytes = a.read(), b.read()
+        if resumed_bytes != clean_bytes:
+            fail(
+                "interrupted-then-resumed JSON differs from the clean "
+                f"single-shot run\nresumed:\n{resumed_bytes.decode()}\n"
+                f"clean:\n{clean_bytes.decode()}"
+            )
+        print(f"byte-identical: {len(clean_bytes)} bytes")
+    print("checkpoint smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,9 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import signal
 import sys
 import tempfile
 
@@ -42,7 +44,33 @@ def _cmd_apps(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _probe_writable(path: str, flag: str) -> None:
+    """Fail fast on an unwritable output path *without creating it*.
+
+    Probing by opening in append mode would materialise an empty file;
+    if the run then never reaches its final write (failure, Ctrl-C),
+    that zero-byte artifact looks exactly like a truncated result.
+    """
+    if os.path.exists(path):
+        if os.path.isdir(path):
+            raise IsADirectoryError(f"{flag} path {path!r} is a directory")
+        if not os.access(path, os.W_OK):
+            raise PermissionError(f"{flag} path {path!r} is not writable")
+    else:
+        directory = os.path.dirname(os.path.abspath(path))
+        if not os.path.isdir(directory):
+            raise FileNotFoundError(
+                f"{flag} directory {directory!r} does not exist"
+            )
+        if not os.access(directory, os.W_OK):
+            raise PermissionError(f"{flag} directory {directory!r} is not writable")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.export_trace:
+        # Validate the output path before the simulation, not after:
+        # a typo'd path must fail in milliseconds, not minutes.
+        _probe_writable(args.export_trace, "--export-trace")
     result = run_workload(
         args.app,
         args.governor,
@@ -208,9 +236,22 @@ def _write_file_atomic(path: str, text: str) -> None:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    """Simulate a population of sessions and print/write the aggregate."""
+    """Simulate a population of sessions and print/write the aggregate.
+
+    Exit codes: 0 on clean completion, 1 when shards exhausted their
+    retry budget, 2 on a usage error (bad spec, unwritable path,
+    checkpoint fingerprint mismatch), and 128+signum (130 for SIGINT,
+    143 for SIGTERM) when a signal stopped the run gracefully.
+    """
+    from repro.errors import EvaluationError
     from repro.fleet import Fleet, FleetSpec, default_mix, parse_mix
 
+    if args.resume and not args.checkpoint:
+        raise EvaluationError("--resume requires --checkpoint PATH")
+    # Test-only fault injection for the checkpoint/signal smoke tests:
+    # sessions are too fast (~15 ms) to interrupt a real fleet mid-run
+    # deterministically, so CI hangs a shard on purpose instead.
+    inject = os.environ.get("REPRO_FLEET_INJECT_CRASH")
     spec = FleetSpec(
         sessions=args.sessions,
         seed=args.seed,
@@ -219,20 +260,26 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         shard_timeout_s=args.shard_timeout,
         trace_level=args.trace_level,
+        inject_crash=json.loads(inject) if inject else None,
     )
     if args.json_out:
         # Fail fast on an unwritable output path before burning minutes
-        # of simulation — in append mode, so existing results survive
-        # if this run never reaches the write below.
-        with open(args.json_out, "a"):
-            pass
+        # of simulation — without creating the file, so a run that
+        # never reaches the final write leaves no empty artifact that
+        # looks like a truncated result.
+        _probe_writable(args.json_out, "--json-out")
 
-    result = Fleet(spec, jobs=args.jobs).run()
+    result = Fleet(
+        spec, jobs=args.jobs, checkpoint=args.checkpoint, resume=args.resume
+    ).run()
     aggregate = result.aggregate
 
     print(f"fleet:       {result.sessions} sessions, seed {result.seed}, "
           f"{result.shards_total} shards x <= {result.shard_size}, "
           f"{result.jobs} job(s)")
+    if result.resumed_shards:
+        print(f"resumed:     {result.resumed_shards} shard(s) reloaded from "
+              f"{args.checkpoint}")
     rate = result.sessions_completed / result.elapsed_s if result.elapsed_s else 0.0
     print(f"completed:   {result.sessions_completed}/{result.sessions} sessions "
           f"in {result.elapsed_s:.1f} s wall ({rate:.1f} sessions/s), "
@@ -254,6 +301,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(f"  {name:12s} {group.sessions:6d} sessions  "
                   f"{group.energy_j.mean:8.3f} J/session  "
                   f"{group.violation_pct.mean:6.2f}% violations")
+    if result.interrupted is not None:
+        # Partial progress only: report it, skip the final JSON (its
+        # absence is the unambiguous "this run did not finish" signal),
+        # and exit with the conventional 128+signum code.
+        name = signal.Signals(result.interrupted).name
+        where = (
+            f"progress checkpointed to {args.checkpoint}; rerun with "
+            f"--resume to continue"
+            if args.checkpoint
+            else "no --checkpoint, so completed shards were discarded"
+        )
+        print(f"interrupted: {name} after "
+              f"{result.sessions_completed}/{result.sessions} sessions; {where}")
+        return 128 + result.interrupted
     if args.json_out:
         _write_file_atomic(args.json_out, result.to_json())
         print(f"json:        {args.json_out}")
@@ -360,6 +421,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-session tracing level (default: gated — streaming "
         "folds keep memory constant; aggregates identical to full)",
     )
+    fleet_parser.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="durably append each completed shard's partial aggregate "
+        "to PATH (fsync'd JSONL) so an interrupted run can be resumed; "
+        "without --resume an existing checkpoint is overwritten",
+    )
+    fleet_parser.add_argument(
+        "--resume", action="store_true",
+        help="reload completed shards from --checkpoint PATH and run "
+        "only the rest; refuses (exit 2) if the checkpoint was written "
+        "for a different spec.  The resumed run's JSON is byte-identical "
+        "to an uninterrupted one",
+    )
     fleet_parser.set_defaults(fn=_cmd_fleet)
 
     analyze_parser = sub.add_parser("analyze", help="frame-timeline stats for a run")
@@ -391,6 +465,12 @@ def main(argv: list[str] | None = None) -> int:
         except Exception:
             pass
         return 0
+    except KeyboardInterrupt:
+        # Commands with a graceful interruption path (fleet) never let
+        # the first Ctrl-C reach here; this catches the second signal's
+        # forced exit and plain Ctrl-C in commands without one.
+        print("error: interrupted", file=sys.stderr)
+        return 128 + signal.SIGINT
     except (ReproError, OSError) as exc:
         # Misconfiguration (bad --mix, bad spec values, unwritable
         # output path, ...) is a usage error, not a crash: report it

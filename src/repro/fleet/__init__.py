@@ -24,16 +24,24 @@ Guarantees:
   bound, then recorded in ``result.failures``; it never kills the run.
 * **Constant memory** — only per-shard partial aggregates cross process
   boundaries, never per-session results.
+* **Interruptibility** — with ``checkpoint=PATH`` each accepted shard
+  partial is durably appended as it lands; SIGINT/SIGTERM stops the run
+  gracefully (workers terminated, checkpoint flushed) and
+  ``resume=True`` picks up where it left off, producing byte-identical
+  output to an uninterrupted run.
 
 CLI equivalent: ``python -m repro fleet --sessions 1000 --jobs 4
---seed 7 --mix "todo:greenweb=3,cnet:perf" --json-out fleet.json``.
+--seed 7 --mix "todo:greenweb=3,cnet:perf" --json-out fleet.json
+--checkpoint fleet.ckpt`` (add ``--resume`` after an interruption).
 """
 
 from repro.fleet.aggregate import Accumulator, FleetAggregate, GroupAggregate, Histogram
+from repro.fleet.checkpoint import CHECKPOINT_VERSION, CheckpointStore, scan_checkpoint
 from repro.fleet.driver import Fleet, FleetResult, ShardFailure
 from repro.fleet.pool import parallel_map
 from repro.fleet.spec import (
     DEFAULT_SHARD_SIZE,
+    FINGERPRINT_VERSION,
     FleetSpec,
     MixEntry,
     SessionSpec,
@@ -45,7 +53,10 @@ from repro.fleet.worker import run_shard_job
 
 __all__ = [
     "Accumulator",
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
     "DEFAULT_SHARD_SIZE",
+    "FINGERPRINT_VERSION",
     "Fleet",
     "FleetAggregate",
     "FleetResult",
@@ -60,4 +71,5 @@ __all__ = [
     "parallel_map",
     "parse_mix",
     "run_shard_job",
+    "scan_checkpoint",
 ]

@@ -12,25 +12,56 @@ Execution model:
   joins the queue; a crashed or hung shard is retried within a bounded
   budget and then recorded in the result, never fatal;
 * partial aggregates merge in shard-index order, so the aggregate is
-  bit-identical across job counts.
+  bit-identical across job counts;
+* with a checkpoint attached, every accepted partial is durably
+  appended the moment it lands, and ``resume=True`` reloads completed
+  shards and skips them — an interrupted-then-resumed run serialises
+  byte-identically to an uninterrupted one;
+* SIGINT/SIGTERM during a pooled run triggers a graceful stop: no new
+  shards are submitted, in-flight workers are terminated, the
+  checkpoint is flushed, and the partial result reports which signal
+  stopped it (a second signal exits immediately).
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import EvaluationError
 from repro.fleet.aggregate import FleetAggregate
+from repro.fleet.checkpoint import CheckpointStore
 from repro.fleet.spec import FleetSpec, Shard
-from repro.fleet.worker import run_shard_job
+from repro.fleet.worker import ignore_interrupts, run_shard_job
 
 #: How often the pool loop wakes to check shard deadlines (seconds).
 _POLL_S = 0.05
+
+
+def _shutdown_pool(executor: ProcessPoolExecutor) -> None:
+    """Stop a pool's workers for real, hung ones included.
+
+    ``executor.shutdown`` never stops a worker stuck in user code, so
+    every exit path — normal completion, deadline rebuild, exception,
+    graceful interruption — must terminate the processes outright or a
+    hung shard outlives the run as a leaked process.
+    """
+    processes = list(getattr(executor, "_processes", {}).values())
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.kill()
+            process.join()
 
 
 @dataclass
@@ -59,11 +90,18 @@ class FleetResult:
     failures: list[ShardFailure]
     aggregate: FleetAggregate
     elapsed_s: float = 0.0
+    #: shards reloaded from a checkpoint instead of executed
+    resumed_shards: int = 0
+    #: the signal number that gracefully stopped this run, else None.
+    #: Execution fact only — like ``jobs`` and ``elapsed_s`` it never
+    #: enters :meth:`to_dict`, so a resumed-to-completion run stays
+    #: byte-identical to an uninterrupted one.
+    interrupted: Optional[int] = None
 
     @property
     def ok(self) -> bool:
         """True when every session of the population was aggregated."""
-        return not self.failures
+        return not self.failures and self.interrupted is None
 
     def to_dict(self) -> dict:
         """Plain-data form.
@@ -104,13 +142,29 @@ class Fleet:
     >>> spec = FleetSpec(sessions=100, seed=7, mix=parse_mix("todo:greenweb,cnet:perf"))
     >>> result = Fleet(spec, jobs=4).run()
     >>> result.aggregate.energy_j.sum  # doctest: +SKIP
+
+    ``checkpoint`` names a JSONL file (see
+    :mod:`repro.fleet.checkpoint`) that durably records each accepted
+    shard partial; ``resume=True`` reloads completed shards from it —
+    refusing if it was written for a different spec fingerprint — and
+    runs only the rest.
     """
 
-    def __init__(self, spec: FleetSpec, jobs: int = 1) -> None:
+    def __init__(
+        self,
+        spec: FleetSpec,
+        jobs: int = 1,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+    ) -> None:
         if jobs <= 0:
             raise EvaluationError(f"fleet needs >= 1 job, got {jobs}")
+        if resume and checkpoint is None:
+            raise EvaluationError("resume requires a checkpoint path")
         self.spec = spec
         self.jobs = jobs
+        self.checkpoint = checkpoint
+        self.resume = resume
 
     # ------------------------------------------------------------------
     # Public API
@@ -118,13 +172,43 @@ class Fleet:
     def run(self) -> FleetResult:
         started = time.monotonic()
         shards = self.spec.shards()
-        if self.jobs == 1:
-            results, retries, failures = self._run_inline(shards)
-        else:
-            results, retries, failures = self._run_pooled(shards)
+        store: Optional[CheckpointStore] = None
+        preloaded: dict[int, dict] = {}
+        if self.checkpoint is not None:
+            # Fingerprint validation happens here, before any shard (or
+            # worker process) is started: a mismatched resume must fail
+            # without doing any work.
+            if self.resume:
+                store = CheckpointStore.resume(
+                    self.checkpoint, self.spec.fingerprint()
+                )
+            else:
+                store = CheckpointStore.fresh(
+                    self.checkpoint, self.spec.fingerprint()
+                )
+            preloaded = store.completed
+
+        interrupted: Optional[int] = None
+        try:
+            todo = [shard for shard in shards if shard.index not in preloaded]
+            if not todo:
+                results, retries, failures = {}, 0, []
+            elif self.jobs == 1:
+                results, retries, failures, interrupted = self._run_inline(
+                    todo, store
+                )
+            else:
+                results, retries, failures, interrupted = self._run_pooled(
+                    todo, store
+                )
+            results.update(preloaded)
+        finally:
+            if store is not None:
+                store.close()
 
         # Merge partials in shard-index order — the one fixed order that
-        # makes float accumulation identical for every job count.
+        # makes float accumulation identical for every job count (and
+        # for any interleaving of checkpointed and fresh shards).
         aggregate = FleetAggregate()
         sessions_completed = 0
         for shard in shards:
@@ -144,6 +228,8 @@ class Fleet:
             failures=sorted(failures, key=lambda f: f.shard),
             aggregate=aggregate,
             elapsed_s=time.monotonic() - started,
+            resumed_shards=len(preloaded),
+            interrupted=interrupted,
         )
 
     # ------------------------------------------------------------------
@@ -162,27 +248,40 @@ class Fleet:
             payload["inject_crash"] = self.spec.inject_crash
         return payload
 
-    def _run_inline(self, shards: list[Shard]):
+    def _run_inline(self, shards: list[Shard], store: Optional[CheckpointStore]):
         """Sequential backend: same shard granularity, same retry
-        semantics, no processes (and hence no hang timeouts)."""
+        semantics, no processes (and hence no hang timeouts).
+
+        Ctrl-C lands as a plain ``KeyboardInterrupt`` here (there are
+        no workers to reap); the shard it interrupted is dropped — the
+        checkpoint already holds every shard accepted before it.
+        """
         results: dict[int, dict] = {}
         failures: list[ShardFailure] = []
         retries = 0
-        for shard in shards:
-            for attempt in range(self.spec.max_retries + 1):
-                try:
-                    results[shard.index] = run_shard_job(self._payload(shard, attempt))
-                    break
-                except Exception as exc:
-                    if attempt < self.spec.max_retries:
-                        retries += 1
+        interrupted: Optional[int] = None
+        try:
+            for shard in shards:
+                for attempt in range(self.spec.max_retries + 1):
+                    try:
+                        partial = run_shard_job(self._payload(shard, attempt))
+                    except Exception as exc:
+                        if attempt < self.spec.max_retries:
+                            retries += 1
+                        else:
+                            failures.append(
+                                ShardFailure(shard.index, attempt + 1, repr(exc))
+                            )
                     else:
-                        failures.append(
-                            ShardFailure(shard.index, attempt + 1, repr(exc))
-                        )
-        return results, retries, failures
+                        results[shard.index] = partial
+                        if store is not None:
+                            store.record(partial)
+                        break
+        except KeyboardInterrupt:
+            interrupted = signal.SIGINT
+        return results, retries, failures, interrupted
 
-    def _run_pooled(self, shards: list[Shard]):
+    def _run_pooled(self, shards: list[Shard], store: Optional[CheckpointStore]):
         """Process-pool backend with per-shard deadlines and retry.
 
         At most ``jobs`` shards are in flight at once, so every
@@ -192,6 +291,13 @@ class Fleet:
         does outlive its deadline cannot be interrupted through the
         future API; the worker pool is killed and rebuilt instead, so a
         hang frees its slot rather than silently shrinking capacity.
+
+        SIGINT/SIGTERM get a graceful path: the first signal stops
+        submission and breaks the loop — the shared ``finally``
+        terminates every worker (hung ones included) and the run
+        returns what it has, checkpoint already flushed.  The handler
+        re-arms the default handlers as its first act, so a second
+        signal exits immediately.
         """
         by_index = {shard.index: shard for shard in shards}
         results: dict[int, dict] = {}
@@ -200,7 +306,24 @@ class Fleet:
         #: shards ready to run, as (shard_index, attempt)
         ready: deque[tuple[int, int]] = deque((shard.index, 0) for shard in shards)
         running: dict[Future, tuple[int, int, float]] = {}
-        executor = ProcessPoolExecutor(max_workers=self.jobs)
+        executor = ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=ignore_interrupts
+        )
+
+        interrupted: list[int] = []
+
+        def handle_signal(signum: int, _frame) -> None:
+            signal.signal(signal.SIGINT, signal.default_int_handler)
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            interrupted.append(signum)
+
+        # Signal handlers can only be installed from the main thread; a
+        # fleet driven from a worker thread just keeps the process's
+        # existing disposition.
+        previous: dict[int, object] = {}
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous[signum] = signal.signal(signum, handle_signal)
 
         def submit_ready() -> None:
             while ready and len(running) < self.jobs:
@@ -230,23 +353,16 @@ class Fleet:
             running.clear()
 
         def rebuild_pool() -> None:
-            # ``shutdown`` never stops a worker stuck in user code, so
-            # terminate the processes outright: that is what actually
-            # returns a hung shard's slot to the pool.
+            # Terminating the processes (not just shutting down) is
+            # what actually returns a hung shard's slot to the pool.
             nonlocal executor
-            processes = list(getattr(executor, "_processes", {}).values())
-            executor.shutdown(wait=False, cancel_futures=True)
-            for process in processes:
-                process.terminate()
-            for process in processes:
-                process.join(timeout=5.0)
-                if process.is_alive():
-                    process.kill()
-                    process.join()
-            executor = ProcessPoolExecutor(max_workers=self.jobs)
+            _shutdown_pool(executor)
+            executor = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=ignore_interrupts
+            )
 
         try:
-            while ready or running:
+            while (ready or running) and not interrupted:
                 submit_ready()
                 done, _ = wait(
                     set(running), timeout=_POLL_S, return_when=FIRST_COMPLETED
@@ -255,7 +371,7 @@ class Fleet:
                 for future in done:
                     shard_index, attempt, _deadline = running.pop(future)
                     try:
-                        results[shard_index] = future.result()
+                        partial = future.result()
                     except BrokenProcessPool as exc:
                         # A hard worker death poisons the whole pool and
                         # every in-flight future.  Rebuild the pool,
@@ -268,6 +384,10 @@ class Fleet:
                         break  # remaining `done` futures died with the pool
                     except Exception as exc:
                         reschedule(shard_index, attempt, repr(exc))
+                    else:
+                        results[shard_index] = partial
+                        if store is not None:
+                            store.record(partial)
                 if broken:
                     continue
                 now = time.monotonic()
@@ -289,5 +409,12 @@ class Fleet:
                         )
                     rebuild_pool()
         finally:
-            executor.shutdown(wait=False, cancel_futures=True)
-        return results, retries, failures
+            # Every exit path — completion, interruption, an exception
+            # in this loop — must leave zero worker processes behind;
+            # plain ``shutdown`` would leak any worker stuck in user
+            # code.  In-flight shards at interruption are simply
+            # dropped: unrecorded, they rerun on resume.
+            _shutdown_pool(executor)
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        return results, retries, failures, (interrupted[0] if interrupted else None)

@@ -29,6 +29,12 @@ from repro.workloads.registry import APP_NAMES
 #: that per-shard process overhead stays negligible.
 DEFAULT_SHARD_SIZE = 8
 
+#: Bump whenever expansion, seeding, aggregation, or the serialised
+#: aggregate schema changes in a result-affecting way: a checkpoint
+#: written by older code must not silently merge with shards produced
+#: by newer code.
+FINGERPRINT_VERSION = 1
+
 _TRACE_KINDS = ("micro", "full")
 
 
@@ -200,6 +206,32 @@ class FleetSpec:
             )
         for entry in self.mix:
             entry.validate()
+
+    def fingerprint(self) -> dict:
+        """The result-determining identity of this population.
+
+        Two specs with equal fingerprints expand, shard, and aggregate
+        identically, so their shard partials are interchangeable — this
+        is the compatibility contract a resume checks before reusing
+        checkpointed shards.  Execution knobs that cannot change any
+        result (``max_retries``, ``shard_timeout_s``, job count, the
+        test-only ``inject_crash``) are deliberately excluded: retrying
+        an interrupted run with a longer timeout is exactly the
+        situation resume exists for.
+        """
+        return {
+            "version": FINGERPRINT_VERSION,
+            "sessions": self.sessions,
+            "seed": self.seed,
+            "mix": [
+                [entry.app, entry.governor, entry.scenario, entry.trace_kind,
+                 entry.weight]
+                for entry in self.mix
+            ],
+            "shard_size": self.shard_size,
+            "settle_s": self.settle_s,
+            "trace_level": self.trace_level,
+        }
 
     # ------------------------------------------------------------------
     # Deterministic expansion

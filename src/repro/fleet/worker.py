@@ -12,10 +12,31 @@ of sessions.
 
 from __future__ import annotations
 
+import signal
 import time
 
 from repro.evaluation.runner import run_workload_job
 from repro.fleet.aggregate import FleetAggregate
+
+
+def ignore_interrupts() -> None:
+    """Pool-worker initializer: interruption belongs to the driver.
+
+    A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    group — workers included.  The driver owns the shutdown sequence
+    (stop submitting, flush the checkpoint, terminate the workers), so
+    workers ignore SIGINT and wait to be terminated instead of dying
+    mid-shard and poisoning the pool with ``BrokenProcessPool`` noise.
+
+    SIGTERM is reset to the default action for the opposite reason:
+    fork copies the parent's signal dispositions, so without the reset
+    a worker forked after the driver installed its graceful SIGTERM
+    handler would *survive* ``process.terminate()`` — the handler just
+    sets a flag that nothing in the worker reads — and every shutdown
+    would stall out the five-second join before escalating to SIGKILL.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
 
 
 def _maybe_inject_crash(payload: dict) -> None:

@@ -1,6 +1,7 @@
 """Tests for the CLI and the Chrome-trace exporter."""
 
 import json
+import os
 
 import pytest
 
@@ -100,6 +101,40 @@ class TestCli:
         assert main(["run", "todo", "--export-trace", str(path)]) == 0
         data = json.loads(path.read_text())
         assert data["traceEvents"]
+
+    def test_run_export_trace_unwritable_fails_fast(self, monkeypatch, capsys):
+        # The path is probed before the simulation runs: a typo'd export
+        # path must not cost a full run before being reported.
+        def explode(*_args, **_kwargs):
+            raise AssertionError("simulation ran despite unwritable path")
+
+        monkeypatch.setattr("repro.cli.run_workload", explode)
+        assert main([
+            "run", "todo", "--export-trace", "/nosuchdir/trace.json",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--export-trace" in err
+
+    def test_run_export_trace_probe_creates_nothing(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        readonly = tmp_path / "readonly"
+        readonly.mkdir()
+        os.chmod(readonly, 0o500)
+        try:
+            rc = main([
+                "run", "todo", "--export-trace", str(readonly / "t.json"),
+            ])
+        finally:
+            os.chmod(readonly, 0o700)
+        if os.geteuid() != 0:  # root bypasses file permission checks
+            assert rc == 2
+            assert list(readonly.iterdir()) == []
+        capsys.readouterr()
+        # A writable path still exports, and the probe itself never
+        # materialises an empty file ahead of the real write.
+        assert main(["run", "todo", "--export-trace", str(target)]) == 0
+        assert json.loads(target.read_text())["traceEvents"]
 
     def test_autogreen_command(self, capsys):
         assert main(["autogreen", "goo_ne_jp"]) == 0

@@ -1,0 +1,188 @@
+"""Interruption and worker-lifecycle tests for the pooled fleet backend.
+
+Three escalating scenarios: a driver crash while workers are hung (the
+pool must be reaped on *every* exit path, not just the happy one), an
+in-process SIGINT mid-run (graceful stop: flag, no resubmission,
+checkpoint flushed, handlers restored), and a full subprocess SIGINT of
+``python -m repro fleet`` asserting exit code 130, zero leaked worker
+processes, and byte-identical output after ``--resume``.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro.fleet.driver as driver
+from repro.fleet import Fleet, FleetSpec, parse_mix, scan_checkpoint
+
+FAST_MIX = parse_mix("todo:greenweb,cnet:perf")
+# One session per shard so "shards completed" maps 1:1 to records.
+SPEC = dict(sessions=4, seed=7, mix=FAST_MIX, shard_size=1)
+HANG = {"shard": [2, 3], "attempts": 99, "mode": "sleep", "sleep_s": 60.0}
+
+
+def _children_drained(timeout_s: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def _shard_records(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return sum('"kind": "shard"' in line for line in handle)
+    except FileNotFoundError:
+        return 0
+
+
+class TestWorkerReaping:
+    def test_driver_crash_reaps_hung_workers(self, monkeypatch):
+        """Regression: an exception escaping the scheduling loop used to
+        leave hung workers running (shutdown(wait=False) neither
+        terminates nor joins them).  Every exit path must reap."""
+        hang_all = FleetSpec(
+            **SPEC,
+            inject_crash={"shard": [0, 1, 2, 3], "attempts": 99,
+                          "mode": "sleep", "sleep_s": 60.0},
+        )
+        real_wait = driver.wait
+        calls = []
+
+        def exploding_wait(*args, **kwargs):
+            calls.append(None)
+            if len(calls) >= 3:  # let workers reach their sleeps first
+                raise RuntimeError("injected driver crash")
+            return real_wait(*args, **kwargs)
+
+        monkeypatch.setattr(driver, "wait", exploding_wait)
+        with pytest.raises(RuntimeError, match="injected driver crash"):
+            Fleet(hang_all, jobs=2).run()
+        assert _children_drained(), "hung workers leaked past Fleet.run"
+
+    def test_clean_pooled_run_leaves_no_children(self):
+        result = Fleet(FleetSpec(**SPEC), jobs=2).run()
+        assert result.ok
+        assert _children_drained()
+
+
+class TestGracefulSigint:
+    def test_sigint_stops_flushes_and_resumes_identically(self, tmp_path):
+        path = str(tmp_path / "cp.jsonl")
+        hanging = FleetSpec(**SPEC, inject_crash=HANG)
+        handler_before = signal.getsignal(signal.SIGINT)
+
+        def fire_after_two_shards():
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and _shard_records(path) < 2:
+                time.sleep(0.02)
+            time.sleep(0.3)  # let shards 2 and 3 enter their hangs
+            os.kill(os.getpid(), signal.SIGINT)
+
+        trigger = threading.Thread(target=fire_after_two_shards)
+        trigger.start()
+        try:
+            result = Fleet(hanging, jobs=2, checkpoint=path).run()
+        finally:
+            trigger.join()
+
+        assert result.interrupted == signal.SIGINT
+        assert not result.ok
+        assert result.sessions_completed == 2
+        assert sorted(scan_checkpoint(path)[1]) == [0, 1]
+        assert signal.getsignal(signal.SIGINT) is handler_before
+        assert _children_drained(), "workers survived graceful SIGINT"
+
+        resumed = Fleet(
+            FleetSpec(**SPEC), jobs=2, checkpoint=path, resume=True
+        ).run()
+        assert resumed.ok
+        assert resumed.resumed_shards == 2
+        clean = Fleet(FleetSpec(**SPEC), jobs=1).run()
+        assert resumed.to_json() == clean.to_json()
+
+
+class TestCliSigint:
+    ARGS = ["fleet", "--sessions", "4", "--shard-size", "1", "--seed", "7",
+            "--mix", "todo:greenweb,cnet:perf"]
+
+    def _run_cli(self, extra, env=None):
+        merged = {**os.environ, **(env or {})}
+        merged["PYTHONPATH"] = "src"
+        return subprocess.run(
+            [sys.executable, "-m", "repro"] + self.ARGS + extra,
+            capture_output=True, text=True, timeout=120,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=merged,
+        )
+
+    def _leaked_workers(self, marker: str) -> list[str]:
+        """Forked pool workers share the parent's argv, so any process
+        whose cmdline still mentions our unique checkpoint path is a
+        leaked worker."""
+        needle = marker.encode()
+        leaked = []
+        for entry in os.listdir("/proc"):
+            if not entry.isdigit() or int(entry) == os.getpid():
+                continue
+            try:
+                with open(f"/proc/{entry}/cmdline", "rb") as handle:
+                    if needle in handle.read():
+                        leaked.append(entry)
+            except OSError:
+                continue
+        return leaked
+
+    def test_sigint_exits_130_leaks_nothing_and_resumes(self, tmp_path):
+        checkpoint = str(tmp_path / "cp.jsonl")
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = {**os.environ, "PYTHONPATH": "src",
+               "REPRO_FLEET_INJECT_CRASH": json.dumps(HANG)}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro"] + self.ARGS
+            + ["--jobs", "2", "--checkpoint", checkpoint],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            cwd=repo_root, env=env,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and _shard_records(checkpoint) < 2:
+                time.sleep(0.05)
+            assert _shard_records(checkpoint) >= 2, "fleet never checkpointed"
+            time.sleep(0.3)
+            proc.send_signal(signal.SIGINT)
+            stdout, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        assert proc.returncode == 128 + signal.SIGINT  # 130
+        assert "interrupted: SIGINT" in stdout
+        assert "--resume" in stdout
+
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and self._leaked_workers(checkpoint):
+            time.sleep(0.1)
+        assert self._leaked_workers(checkpoint) == []
+
+        resumed_json = tmp_path / "resumed.json"
+        clean_json = tmp_path / "clean.json"
+        resumed = self._run_cli(
+            ["--jobs", "2", "--checkpoint", checkpoint, "--resume",
+             "--json-out", str(resumed_json)]
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resumed:     2 shard(s)" in resumed.stdout
+        clean = self._run_cli(["--json-out", str(clean_json)])
+        assert clean.returncode == 0, clean.stderr
+        assert resumed_json.read_bytes() == clean_json.read_bytes()
