@@ -17,7 +17,7 @@ from conftest import run_once
 from repro.browser.engine import Browser
 from repro.core.annotations import AnnotationRegistry
 from repro.core.qos import UsageScenario
-from repro.core.runtime import GreenWebRuntime
+from repro.policies import POLICIES
 from repro.evaluation.metrics import event_violation_pct, mean_violation_pct
 from repro.hardware.platform import odroid_xu_e
 from repro.workloads.background import BackgroundApplication
@@ -31,7 +31,7 @@ def _run(with_background: bool):
     bundle = build_app("cnet")
     platform = odroid_xu_e(record_power_intervals=False)
     registry = AnnotationRegistry.from_stylesheet(bundle.page.stylesheet)
-    runtime = GreenWebRuntime(platform, registry, I)
+    runtime = POLICIES.build("greenweb", platform, registry, I)
     browser = Browser(platform, bundle.page, policy=runtime)
     background = None
     if with_background:

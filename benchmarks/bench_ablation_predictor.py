@@ -15,7 +15,6 @@ Knobs exercised:
   QoS; ondemand = utilization-reactive).
 """
 
-import statistics
 
 from conftest import run_once
 
@@ -28,12 +27,11 @@ I = UsageScenario.IMPERCEPTIBLE
 
 def _ewma_ablation():
     results = {}
-    for label, kwargs in (
-        ("ewma-on", {"ewma_model_update": True}),
-        ("ewma-off", {"ewma_model_update": False}),
+    for label, spec in (
+        ("ewma-on", "greenweb(ewma_model_update=true)"),
+        ("ewma-off", "greenweb(ewma_model_update=false)"),
     ):
-        run = run_workload("w3schools", "greenweb", U, "micro", runtime_kwargs=kwargs)
-        results[label] = run
+        results[label] = run_workload("w3schools", spec, U, "micro")
     return results
 
 
@@ -58,11 +56,7 @@ def _recalibration_sweep():
     rows = []
     for threshold in (1, 3, 8):
         run = run_workload(
-            "cnet",
-            "greenweb",
-            U,
-            "micro",
-            runtime_kwargs={"recalibration_threshold": threshold},
+            "cnet", f"greenweb(recalibration_threshold={threshold})", U, "micro"
         )
         rows.append((threshold, run))
     return rows
@@ -114,12 +108,11 @@ def test_ablation_governor_panorama(benchmark, record_figure):
 
 def _profiling_mode_ablation():
     results = {}
-    for label, kwargs in (
-        ("2-run + IPC derivation", {}),
-        ("4-run (both clusters)", {"profile_both_clusters": True}),
+    for label, spec in (
+        ("2-run + IPC derivation", "greenweb"),
+        ("4-run (both clusters)", "greenweb(profile_both_clusters=true)"),
     ):
-        results[label] = run_workload("cnet", "greenweb", U, "micro",
-                                      runtime_kwargs=kwargs)
+        results[label] = run_workload("cnet", spec, U, "micro")
     return results
 
 
@@ -154,12 +147,11 @@ def test_ablation_profiling_mode(benchmark, record_figure):
 
 def _surge_aware_ablation():
     results = {}
-    for label, kwargs in (
-        ("ewma mean", {}),
-        ("surge-aware p90", {"surge_aware": True}),
+    for label, spec in (
+        ("ewma mean", "greenweb"),
+        ("surge-aware p90", "greenweb(surge_aware=true)"),
     ):
-        results[label] = run_workload("w3schools", "greenweb", U, "micro",
-                                      runtime_kwargs=kwargs)
+        results[label] = run_workload("w3schools", spec, U, "micro")
     return results
 
 

@@ -8,7 +8,6 @@ that (a) identical seeds are bit-identical and (b) the seed-to-seed
 energy spread stays small enough not to affect conclusions.
 """
 
-import statistics
 
 from conftest import run_once
 

@@ -42,6 +42,7 @@ from repro.core.qos import (
 )
 from repro.core.runtime import GreenWebRuntime
 from repro.fleet import Fleet, FleetSpec
+from repro.policies import POLICIES, PolicySpec, register
 from repro.session import Session
 
 __version__ = "1.0.0"
@@ -60,4 +61,7 @@ __all__ = [
     "extract_annotations",
     "AnnotationRegistry",
     "GreenWebRuntime",
+    "POLICIES",
+    "PolicySpec",
+    "register",
 ]

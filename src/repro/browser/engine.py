@@ -604,9 +604,17 @@ class Browser:
         return f"<Browser page={self.page.name!r} frames={self.stats.frames}>"
 
 
-def _target_key(target: Element) -> str:
+def target_key(target: Element) -> str:
+    """Stable identity of an event target: ``#id`` when the element has
+    one, else ``tag.class1.class2`` (classes sorted), else the bare tag.
+    Policies key their per-(element, event) adaptive state on this, and
+    post-hoc policies recompute it from the static page to line trace
+    events up with runtime keys."""
     if target.id:
         return f"#{target.id}"
     if target.classes:
         return f"{target.tag}." + ".".join(sorted(target.classes))
     return target.tag
+
+
+_target_key = target_key

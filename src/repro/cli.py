@@ -27,7 +27,8 @@ import tempfile
 
 from repro.core.qos import UsageScenario
 from repro.errors import ReproError
-from repro.evaluation.runner import GOVERNORS, run_workload
+from repro.evaluation.runner import run_workload
+from repro.policies import POLICIES
 from repro.sim.tracing import TRACE_LEVELS
 from repro.workloads.registry import APP_NAMES, build_app, table3_specs
 
@@ -348,7 +349,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one experiment cell")
     run_parser.add_argument("app", choices=APP_NAMES)
-    run_parser.add_argument("--governor", default="greenweb", choices=GOVERNORS)
+    run_parser.add_argument(
+        "--governor", default="greenweb", metavar="SPEC",
+        help="policy spec: a registered name or NAME(k=v,...), e.g. "
+        f"greenweb(ewma_alpha=0.25); known: {', '.join(POLICIES.names())}",
+    )
     run_parser.add_argument(
         "--scenario", default="imperceptible", choices=["imperceptible", "usable"]
     )
@@ -398,7 +403,8 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument(
         "--mix",
         help="population mix: comma-separated "
-        "APP[:GOVERNOR[:SCENARIO[:TRACE]]][=WEIGHT] items "
+        "APP[:GOVERNOR[:SCENARIO[:TRACE]]][=WEIGHT] items; GOVERNOR may "
+        "be a parameterized spec like greenweb(ewma_alpha=0.25) "
         "(default: every app under greenweb and perf, micro traces)",
     )
     fleet_parser.add_argument(
@@ -438,7 +444,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze_parser = sub.add_parser("analyze", help="frame-timeline stats for a run")
     analyze_parser.add_argument("app", choices=APP_NAMES)
-    analyze_parser.add_argument("--governor", default="greenweb", choices=GOVERNORS)
+    analyze_parser.add_argument(
+        "--governor", default="greenweb", metavar="SPEC",
+        help="policy spec: a registered name or NAME(k=v,...); known: "
+        f"{', '.join(POLICIES.names())}",
+    )
     analyze_parser.add_argument(
         "--scenario", default="imperceptible", choices=["imperceptible", "usable"]
     )

@@ -23,82 +23,42 @@ Energy conservation: when no input demands performance — every $single$
 event has its response frame and no continuous sequence is live — the
 runtime drops to the idle configuration, so "post-frame" work (timers,
 GC-like tasks) executes in low-power mode (Sec. 3.2).
+
+Structurally the runtime is a thin conductor over four interfaced
+components (see :mod:`repro.core.components`): a :class:`DvfsProfiler`
+(profiling phases + Eq. 1 fits), a
+:class:`~repro.core.predictor.ConfigPredictor` (the config sweep), a
+:class:`FeedbackController` (boost/EWMA/recalibration), and an
+:class:`IdleManager` (grace-period idle drops).  The private methods
+below delegate so existing tests, subclasses
+(:class:`~repro.core.uai.UaiGreenWebRuntime`), and ablation benchmarks
+keep their entry points.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.browser.engine import BrowserPolicy
 from repro.browser.frame_tracker import FrameRecord, InputRecord
 from repro.browser.messages import InputMsg
 from repro.core.annotations import AnnotationRegistry
+from repro.core.components import DvfsProfiler, FeedbackController, IdleManager
 from repro.core.energy_model import PowerTable
-from repro.core.perf_model import ClusterModelSet, fit_dvfs_model
-from repro.core.predictor import ConfigPredictor, Prediction
+from repro.core.predictor import ConfigPredictor
 from repro.core.qos import QoSSpec, QoSType, UsageScenario
+from repro.core.runtime_state import RuntimeStats, _KeyState, _Phase
 from repro.errors import RuntimeModelError
 from repro.hardware.dvfs import CpuConfig
 from repro.hardware.platform import MobilePlatform
 from repro.web.events import Event
 
-
-class _Phase(enum.Enum):
-    PROFILE_MAX = "profile-max"
-    PROFILE_MIN = "profile-min"
-    #: extra phases used only with ``profile_both_clusters=True``: the
-    #: little-cluster model is fitted from its own two profiling runs
-    #: instead of being derived from the big fit via the IPC ratio.
-    PROFILE_LITTLE_MAX = "profile-little-max"
-    PROFILE_LITTLE_MIN = "profile-little-min"
-    STABLE = "stable"
-
-
-@dataclass
-class _KeyState:
-    """Adaptive state for one annotated (element, event) key."""
-
-    phase: _Phase = _Phase.PROFILE_MAX
-    models: ClusterModelSet = field(default_factory=ClusterModelSet)
-    profile_sample: Optional[tuple[int, float]] = None  # (freq_mhz, latency_us)
-    #: latencies observed so far in the current profiling phase
-    profile_buffer: list[float] = field(default_factory=list)
-    #: recent observed cycle counts per cluster (surge-aware predictor)
-    recent_cycles: dict = field(default_factory=dict)
-    #: consecutive inputs under this key that produced no frame at all
-    frameless_inputs: int = 0
-    #: set once the key is known to never produce frames (e.g. an
-    #: annotated touchstart whose page has no touchstart listener);
-    #: such keys stop driving configuration changes.
-    frameless: bool = False
-    boost: int = 0
-    consecutive_mispredictions: int = 0
-    overpredict_streak: int = 0
-    last_prediction: Optional[Prediction] = None
-    #: the configuration actually requested (after boost) and the
-    #: model's latency prediction AT that configuration — feedback must
-    #: judge the model against what actually ran, not against the
-    #: pre-boost sweep winner.
-    last_requested: Optional[tuple[CpuConfig, float]] = None
-    profiling_runs: int = 0
-    recalibrations: int = 0
-
-
-@dataclass
-class RuntimeStats:
-    """Counters for reports and the ablation benchmarks."""
-
-    inputs_seen: int = 0
-    unannotated_inputs: int = 0
-    predictions: int = 0
-    profiling_frames: int = 0
-    violations_fed_back: int = 0
-    boosts_up: int = 0
-    boosts_down: int = 0
-    recalibrations: int = 0
-    idle_drops: int = 0
+__all__ = [
+    "GreenWebRuntime",
+    "RuntimeStats",
+    "_KeyState",
+    "_Phase",
+]
 
 
 class GreenWebRuntime(BrowserPolicy):
@@ -122,10 +82,6 @@ class GreenWebRuntime(BrowserPolicy):
         surge_percentile: float = 0.9,
         surge_window: int = 12,
     ) -> None:
-        if not 0 < misprediction_tolerance < 1:
-            raise RuntimeModelError("misprediction tolerance must be in (0, 1)")
-        if recalibration_threshold < 1:
-            raise RuntimeModelError("recalibration threshold must be >= 1")
         if not 0 < target_headroom <= 1.0:
             raise RuntimeModelError("target headroom must be in (0, 1]")
         self.platform = platform
@@ -134,87 +90,115 @@ class GreenWebRuntime(BrowserPolicy):
         # Unannotated user inputs get a conservative safe spec: QoS is
         # favoured over energy, mirroring AutoGreen's conservatism.
         self.fallback_spec = fallback_spec if fallback_spec is not None else QoSSpec.single()
-        self.misprediction_tolerance = misprediction_tolerance
-        self.recalibration_threshold = recalibration_threshold
-        self.ewma_model_update = ewma_model_update
-        self.ewma_alpha = ewma_alpha
-        self.profile_both_clusters = profile_both_clusters
         # Predict against headroom * target: <1.0 buys safety margin
         # against frame-complexity surges at an energy cost — the
         # simple alternative to the paper's Sec. 8 suggestion of
         # profiling-guided prediction for fluctuating frames.
         self.target_headroom = target_headroom
-        # Surge-aware prediction (the paper's Sec. 7.2/8 suggestion made
-        # concrete): predict from a high percentile of recently observed
-        # per-frame cycle counts instead of their mean, so a key whose
-        # frames fluctuate is scheduled for its surges, not its average.
-        if not 0.5 <= surge_percentile <= 1.0:
-            raise RuntimeModelError("surge percentile must be in [0.5, 1]")
-        if surge_window < 2:
-            raise RuntimeModelError("surge window must be >= 2")
-        self.surge_aware = surge_aware
-        self.surge_percentile = surge_percentile
-        self.surge_window = surge_window
 
         self.power_table = PowerTable.profile(platform)
         self.predictor = ConfigPredictor(self.power_table)
         self._configs = platform.all_configs()  # performance order
         self._config_index = {c: i for i, c in enumerate(self._configs)}
-        self.idle_config = idle_config if idle_config is not None else self._configs[0]
+        self.stats = RuntimeStats()
 
-        # The profile cluster is the fastest one (big on the paper's
-        # platform); other clusters' models are derived through the
-        # statically profiled IPC ratios.  Single-cluster platforms
-        # (paper Sec. 10's "a runtime leveraging only a single big (or
-        # little) core capable of DVFS") simply have no derivations.
-        cluster_names = platform.cluster_names
-        self._profile_cluster = max(
-            cluster_names,
-            key=lambda n: platform.cluster(n).spec.ipc_factor
-            * platform.cluster(n).spec.opps.max.freq_mhz,
+        self.profiler = DvfsProfiler(platform, profile_both_clusters)
+        self.feedback_controller = FeedbackController(
+            self.profiler,
+            self.stats,
+            misprediction_tolerance=misprediction_tolerance,
+            recalibration_threshold=recalibration_threshold,
+            ewma_model_update=ewma_model_update,
+            ewma_alpha=ewma_alpha,
+            surge_aware=surge_aware,
+            surge_percentile=surge_percentile,
+            surge_window=surge_window,
         )
-        profile_spec = platform.cluster(self._profile_cluster).spec
-        self._profile_fmax = CpuConfig(
-            self._profile_cluster, profile_spec.opps.max.freq_mhz
+        self.idle_manager = IdleManager(
+            platform,
+            idle_config if idle_config is not None else self._configs[0],
+            idle_grace_ms,
+            has_demand=lambda: bool(self._demanding),
+            stats=self.stats,
         )
-        self._profile_fmin = CpuConfig(
-            self._profile_cluster, profile_spec.opps.min.freq_mhz
-        )
-        #: cluster -> cycle scale factor vs. the profile cluster
-        self._cycle_factors: dict[str, float] = {
-            name: profile_spec.ipc_factor / platform.cluster(name).spec.ipc_factor
-            for name in cluster_names
-            if name != self._profile_cluster
-        }
-        self._secondary_clusters = list(self._cycle_factors)
-        if profile_both_clusters and len(self._secondary_clusters) != 1:
-            raise RuntimeModelError(
-                "profile_both_clusters requires exactly two clusters"
-            )
-        if self._secondary_clusters:
-            secondary = self._secondary_clusters[0]
-            secondary_spec = platform.cluster(secondary).spec
-            self._secondary_fmax = CpuConfig(
-                secondary, secondary_spec.opps.max.freq_mhz
-            )
-            self._secondary_fmin = CpuConfig(
-                secondary, secondary_spec.opps.min.freq_mhz
-            )
-        else:
-            self._secondary_fmax = self._secondary_fmin = None
-
-        # Hysteresis before dropping to the idle configuration: input
-        # streams (finger moves at ~60 Hz) complete event-by-event, and
-        # dropping between samples would thrash the DVFS actuator.
-        self.idle_grace_us = max(0, int(idle_grace_ms * 1_000))
-        self._idle_event = None
 
         self._keys: dict[str, _KeyState] = {}
         #: uid -> (spec, key) for every live (and past) input.
         self.input_specs: dict[int, tuple[QoSSpec, str]] = {}
         self._demanding: dict[int, str] = {}  # uid -> key
         self._pending_frame_key: Optional[str] = None
-        self.stats = RuntimeStats()
+
+    # ------------------------------------------------------------------
+    # Component-backed knobs (read-mostly; kept as properties so the
+    # pre-decomposition attribute surface stays intact)
+    # ------------------------------------------------------------------
+    @property
+    def misprediction_tolerance(self) -> float:
+        return self.feedback_controller.misprediction_tolerance
+
+    @property
+    def recalibration_threshold(self) -> int:
+        return self.feedback_controller.recalibration_threshold
+
+    @property
+    def ewma_model_update(self) -> bool:
+        return self.feedback_controller.ewma_model_update
+
+    @property
+    def ewma_alpha(self) -> float:
+        return self.feedback_controller.ewma_alpha
+
+    @property
+    def surge_aware(self) -> bool:
+        return self.feedback_controller.surge_aware
+
+    @property
+    def surge_percentile(self) -> float:
+        return self.feedback_controller.surge_percentile
+
+    @property
+    def surge_window(self) -> int:
+        return self.feedback_controller.surge_window
+
+    @property
+    def profile_both_clusters(self) -> bool:
+        return self.profiler.profile_both_clusters
+
+    @property
+    def idle_config(self) -> CpuConfig:
+        return self.idle_manager.idle_config
+
+    @property
+    def idle_grace_us(self) -> int:
+        return self.idle_manager.idle_grace_us
+
+    @property
+    def _profile_cluster(self) -> str:
+        return self.profiler.profile_cluster
+
+    @property
+    def _profile_fmax(self) -> CpuConfig:
+        return self.profiler.fmax
+
+    @property
+    def _profile_fmin(self) -> CpuConfig:
+        return self.profiler.fmin
+
+    @property
+    def _secondary_fmax(self) -> Optional[CpuConfig]:
+        return self.profiler.secondary_fmax
+
+    @property
+    def _secondary_fmin(self) -> Optional[CpuConfig]:
+        return self.profiler.secondary_fmin
+
+    @property
+    def _cycle_factors(self) -> dict[str, float]:
+        return self.profiler.cycle_factors
+
+    @property
+    def _secondary_clusters(self) -> list[str]:
+        return self.profiler.secondary_clusters
 
     # ------------------------------------------------------------------
     # BrowserPolicy hooks
@@ -270,37 +254,7 @@ class GreenWebRuntime(BrowserPolicy):
                 target_us=int(target_us),
                 violated=observed_us > target_us,
             )
-        if state.phase is _Phase.PROFILE_MAX:
-            state.profile_buffer.append(observed_us)
-            if len(state.profile_buffer) >= self._profile_frames_needed(spec):
-                # The minimum over the phase's frames rejects additive
-                # queueing/batching noise that a single sample picks up.
-                state.profile_sample = (
-                    self._profile_fmax.freq_mhz,
-                    min(state.profile_buffer),
-                )
-                state.profile_buffer = []
-                state.phase = _Phase.PROFILE_MIN
-        elif state.phase is _Phase.PROFILE_MIN:
-            state.profile_buffer.append(observed_us)
-            if len(state.profile_buffer) >= self._profile_frames_needed(spec):
-                self._finish_big_profiling(state, min(state.profile_buffer))
-                state.profile_buffer = []
-        elif state.phase is _Phase.PROFILE_LITTLE_MAX:
-            state.profile_buffer.append(observed_us)
-            if len(state.profile_buffer) >= self._profile_frames_needed(spec):
-                state.profile_sample = (
-                    self._secondary_fmax.freq_mhz,
-                    min(state.profile_buffer),
-                )
-                state.profile_buffer = []
-                state.phase = _Phase.PROFILE_LITTLE_MIN
-        elif state.phase is _Phase.PROFILE_LITTLE_MIN:
-            state.profile_buffer.append(observed_us)
-            if len(state.profile_buffer) >= self._profile_frames_needed(spec):
-                self._finish_little_profiling(state, min(state.profile_buffer))
-                state.profile_buffer = []
-        else:
+        if not self.profiler.observe(state, spec, observed_us):
             self._feedback(state, observed_us, target_us)
 
         # A single event's QoS demand ends with its response frame;
@@ -336,31 +290,15 @@ class GreenWebRuntime(BrowserPolicy):
 
     @staticmethod
     def _profile_frames_needed(spec: QoSSpec) -> int:
-        """Frames per profiling phase: continuous events have plenty of
-        frames, so three are used (min-aggregated) to reject batching
-        noise; a single event costs one whole user interaction per
-        profiling frame, so one must do (the paper's "two profiling
-        runs" for single events, e.g. MSN in Sec. 7.2)."""
-        return 3 if spec.qos_type is QoSType.CONTINUOUS else 1
+        return DvfsProfiler.frames_needed(spec)
 
     def _config_for(self, key: str, spec: QoSSpec) -> CpuConfig:
         state = self._key_state(key)
-        if state.phase is _Phase.PROFILE_MAX:
+        profiling_config = self.profiler.phase_config(state)
+        if profiling_config is not None:
             state.profiling_runs += 1
             self.stats.profiling_frames += 1
-            return self._profile_fmax
-        if state.phase is _Phase.PROFILE_MIN:
-            state.profiling_runs += 1
-            self.stats.profiling_frames += 1
-            return self._profile_fmin
-        if state.phase is _Phase.PROFILE_LITTLE_MAX:
-            state.profiling_runs += 1
-            self.stats.profiling_frames += 1
-            return self._secondary_fmax
-        if state.phase is _Phase.PROFILE_LITTLE_MIN:
-            state.profiling_runs += 1
-            self.stats.profiling_frames += 1
-            return self._secondary_fmin
+            return profiling_config
         prediction = self.predictor.predict(
             state.models, spec.target_ms(self.scenario) * self.target_headroom
         )
@@ -408,137 +346,31 @@ class GreenWebRuntime(BrowserPolicy):
         return best
 
     # ------------------------------------------------------------------
-    # Learning
+    # Learning (delegates into the components)
     # ------------------------------------------------------------------
     def _finish_big_profiling(self, state: _KeyState, observed_min_us: float) -> None:
-        assert state.profile_sample is not None
-        fmax_mhz, latency_max_us = state.profile_sample
-        profile_model = fit_dvfs_model(
-            fmax_mhz, latency_max_us, self._profile_fmin.freq_mhz, observed_min_us
-        )
-        state.models.set(self._profile_cluster, profile_model)
-        state.profile_sample = None
-        if self.profile_both_clusters:
-            # Four-run mode ("we build performance models for big and
-            # little cores separately", Sec. 6.2): continue profiling on
-            # the secondary cluster instead of deriving its model.
-            state.phase = _Phase.PROFILE_LITTLE_MAX
-            return
-        # Two-run mode: derive the other clusters' models through the
-        # statically profiled IPC ratios.
-        for cluster, factor in self._cycle_factors.items():
-            state.models.set(cluster, profile_model.scaled_cycles(factor))
-        state.phase = _Phase.STABLE
+        self.profiler.finish_big_profiling(state, observed_min_us)
 
     def _finish_little_profiling(self, state: _KeyState, observed_min_us: float) -> None:
-        assert state.profile_sample is not None
-        fmax_mhz, latency_max_us = state.profile_sample
-        secondary = self._secondary_clusters[0]
-        secondary_model = fit_dvfs_model(
-            fmax_mhz, latency_max_us, self._secondary_fmin.freq_mhz, observed_min_us
-        )
-        state.models.set(secondary, secondary_model)
-        state.phase = _Phase.STABLE
-        state.profile_sample = None
+        self.profiler.finish_little_profiling(state, observed_min_us)
 
     def _feedback(self, state: _KeyState, observed_us: float, target_us: float) -> None:
-        if state.last_requested is None:
-            return
-        requested_config, predicted_us = state.last_requested
-        predicted_us = max(predicted_us, 1.0)
-        relative_error = abs(observed_us - predicted_us) / predicted_us
-
-        if observed_us > target_us:
-            # Under-prediction violated QoS: step up one level (next
-            # frequency, or little-to-big migration at the cluster edge).
-            state.boost += 1
-            state.overpredict_streak = 0
-            self.stats.boosts_up += 1
-            self.stats.violations_fed_back += 1
-        elif observed_us < predicted_us * (1.0 - self.misprediction_tolerance):
-            # Apparent over-prediction.  A single fast frame can be an
-            # artifact (the event may have executed at a faster
-            # leftover configuration, e.g. during the idle-grace window
-            # of a previous event), so require two in a row before
-            # conserving with a step-down.
-            state.overpredict_streak += 1
-            if state.overpredict_streak >= 2 and state.boost > -3:
-                state.boost -= 1
-                state.overpredict_streak = 0
-                self.stats.boosts_down += 1
-        else:
-            state.overpredict_streak = 0
-
-        if self.ewma_model_update and observed_us > 0:
-            self._ewma_update(state, requested_config, observed_us)
-
-        if relative_error > self.misprediction_tolerance:
-            state.consecutive_mispredictions += 1
-            if state.consecutive_mispredictions > self.recalibration_threshold:
-                state.phase = _Phase.PROFILE_MAX
-                state.consecutive_mispredictions = 0
-                state.boost = 0
-                state.recalibrations += 1
-                self.stats.recalibrations += 1
-        else:
-            state.consecutive_mispredictions = 0
+        self.feedback_controller.feedback(state, observed_us, target_us)
 
     def _ewma_update(self, state: _KeyState, config: CpuConfig, observed_us: float) -> None:
-        """The paper's "fine-tune the prediction": continuously refine
-        the cycle count from stable-phase observations."""
-        model = state.models.get(config.cluster)
-        residual_us = observed_us - model.t_independent_us
-        if residual_us <= 0:
-            return
-        observed_cycles = residual_us * config.freq_mhz
-        blended = (1 - self.ewma_alpha) * model.n_cycles + self.ewma_alpha * observed_cycles
-        if self.surge_aware:
-            history = state.recent_cycles.setdefault(config.cluster, [])
-            history.append(observed_cycles)
-            del history[: -self.surge_window]
-            ordered = sorted(history)
-            rank = max(0, min(len(ordered) - 1,
-                              int(self.surge_percentile * len(ordered))))
-            blended = max(blended, ordered[rank])
-        updated = model.with_cycles(blended)
-        state.models.set(config.cluster, updated)
-        if config.cluster == self._profile_cluster and not self.profile_both_clusters:
-            for cluster, factor in self._cycle_factors.items():
-                state.models.set(cluster, updated.scaled_cycles(factor))
+        self.feedback_controller.ewma_update(state, config, observed_us)
 
     # ------------------------------------------------------------------
     # Energy conservation
     # ------------------------------------------------------------------
     def _maybe_go_idle(self) -> None:
-        if self._demanding:
-            return
-        if self.idle_grace_us == 0:
-            self._drop_to_idle()
-            return
-        if self._idle_event is not None and self._idle_event.pending:
-            return
-        self._idle_event = self.platform.kernel.schedule_in(
-            self.idle_grace_us, self._drop_to_idle, label="greenweb-idle"
-        )
+        self.idle_manager.maybe_go_idle()
 
     def _drop_to_idle(self) -> None:
-        if self._demanding:
-            return
-        current = self.platform.config
-        # If already on the little cluster, stay put: the leakage gap
-        # between little operating points is negligible, and avoiding
-        # the down-switch halves configuration churn for workloads whose
-        # predicted config is already little (Fig. 12's "modest
-        # switching" behaviour).
-        if current.cluster == self.idle_config.cluster:
-            return
-        self.stats.idle_drops += 1
-        self.platform.set_config(self.idle_config)
+        self.idle_manager.drop_to_idle()
 
     def _cancel_pending_idle(self) -> None:
-        if self._idle_event is not None and self._idle_event.pending:
-            self._idle_event.cancel()
-        self._idle_event = None
+        self.idle_manager.cancel_pending()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -20,7 +20,6 @@ is reported for diagnostics.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.browser.messages import InputMsg
 from repro.core.annotations import AnnotationRegistry

@@ -12,8 +12,8 @@ motivates.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.browser.vsync import VSYNC_PERIOD_US
 from repro.errors import EvaluationError

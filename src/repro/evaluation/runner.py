@@ -12,17 +12,11 @@ session, so a governor that idles at high power keeps paying for it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.browser.engine import Browser, BrowserPolicy
+from repro.browser.engine import Browser, BrowserPolicy, target_key
 from repro.core.annotations import AnnotationRegistry
-from repro.core.governors import (
-    InteractiveGovernor,
-    OndemandGovernor,
-    PerfGovernor,
-    PowersaveGovernor,
-)
 from repro.core.qos import QoSSpec, UsageScenario
 from repro.core.runtime import GreenWebRuntime
 from repro.errors import EvaluationError
@@ -30,12 +24,16 @@ from repro.evaluation.folds import ConfigTimelineFold
 from repro.evaluation.metrics import event_violation_pct, mean_violation_pct
 from repro.hardware.dvfs import CpuConfig
 from repro.hardware.platform import odroid_xu_e
+from repro.policies import POLICIES, PolicySpec
 from repro.sim.clock import s_to_us
 from repro.sim.tracing import TraceLog
 from repro.workloads.interactions import InteractionDriver
 from repro.workloads.registry import build_app
 
-#: Governor names accepted by :func:`run_workload`.
+#: The paper's governor set (Sec. 7.1's bake-off plus the ablation
+#: references) — the names whose bare-spec results are pinned by the
+#: parity test.  The full policy list, including post-hoc baselines
+#: and third-party registrations, is ``POLICIES.names()``.
 GOVERNORS: tuple[str, ...] = (
     "perf",
     "interactive",
@@ -44,6 +42,22 @@ GOVERNORS: tuple[str, ...] = (
     "greenweb",
     "ebs",
 )
+
+
+def resolve_spec(
+    governor: "PolicySpec | str", runtime_kwargs: Optional[dict] = None
+) -> PolicySpec:
+    """Validate a governor spec (string or :class:`PolicySpec`) against
+    the registry, merging legacy ``runtime_kwargs`` as spec parameters.
+
+    Raises :class:`EvaluationError` for unknown policy names, unknown
+    parameters (including ``runtime_kwargs`` a policy does not take),
+    and type mismatches.
+    """
+    spec = POLICIES.normalize(governor)
+    if runtime_kwargs:
+        spec = POLICIES.normalize(spec.with_params(**runtime_kwargs))
+    return spec
 
 
 class _ActiveWindowAccountant:
@@ -135,35 +149,59 @@ class RunResult:
             raise EvaluationError("baseline has no active-window energy")
         return self.active_energy_j / baseline.active_energy_j
 
+    def to_dict(self) -> dict:
+        """Plain picklable/JSON-able form; see :func:`run_result_to_dict`."""
+        return run_result_to_dict(self)
+
 
 def make_policy(
-    governor: str,
+    governor: "PolicySpec | str",
     platform,
     registry: AnnotationRegistry,
     scenario: UsageScenario,
     runtime_kwargs: Optional[dict] = None,
 ) -> BrowserPolicy:
-    """Instantiate a governor policy by name."""
-    if governor == "perf":
-        return PerfGovernor(platform)
-    if governor == "interactive":
-        return InteractiveGovernor(platform)
-    if governor == "powersave":
-        return PowersaveGovernor(platform)
-    if governor == "ondemand":
-        return OndemandGovernor(platform)
-    if governor == "greenweb":
-        return GreenWebRuntime(platform, registry, scenario, **(runtime_kwargs or {}))
-    if governor == "ebs":
-        from repro.core.ebs import EbsGovernor
+    """Instantiate a governor policy from a spec (string or parsed)."""
+    spec = resolve_spec(governor, runtime_kwargs)
+    return POLICIES.build(spec, platform, registry, scenario)
 
-        return EbsGovernor(platform, **(runtime_kwargs or {}))
-    raise EvaluationError(f"unknown governor {governor!r}; known: {list(GOVERNORS)}")
+
+def _resolve_trace(bundle, trace_kind: str):
+    if trace_kind == "micro":
+        return bundle.micro_trace
+    if trace_kind == "full":
+        return bundle.full_trace
+    raise EvaluationError(f"unknown trace kind {trace_kind!r}")
+
+
+def trace_event_keys(app: str, seed: int, trace_kind: str) -> list[str]:
+    """The policy event key of every trace event, in trace order.
+
+    Matches the ``target_key@event_type`` keys live policies compute in
+    ``on_input``, letting post-hoc policies (the oracle) line up
+    per-event violations with per-key decisions without running the
+    browser.
+    """
+    bundle = build_app(app, seed)
+    trace = _resolve_trace(bundle, trace_kind)
+    keys = []
+    for scripted in trace.sorted_events():
+        target = (
+            bundle.page.document.get_element_by_id(scripted.target_id)
+            if scripted.target_id
+            else bundle.page.document.root
+        )
+        if target is None:
+            raise EvaluationError(
+                f"trace {trace.name!r} targets missing element #{scripted.target_id}"
+            )
+        keys.append(f"{target_key(target)}@{scripted.event_type}")
+    return keys
 
 
 def run_workload(
     app: str,
-    governor: str,
+    governor: "PolicySpec | str",
     scenario: UsageScenario = UsageScenario.IMPERCEPTIBLE,
     trace_kind: str = "full",
     seed: int = 0,
@@ -175,7 +213,9 @@ def run_workload(
 
     Args:
         app: application name (see :data:`repro.workloads.APP_NAMES`).
-        governor: one of :data:`GOVERNORS`.
+        governor: a policy spec — a bare registered name (see
+            ``POLICIES.names()``), a parameterized string like
+            ``"greenweb(ewma_alpha=0.25)"``, or a :class:`PolicySpec`.
         scenario: the usage scenario (GreenWeb's QoS target choice;
             Perf and Interactive "behave the same independently of the
             usage scenario", Sec. 7.1 — only their violation accounting
@@ -183,8 +223,8 @@ def run_workload(
         trace_kind: ``"micro"`` or ``"full"``.
         seed: workload seed.
         settle_s: wall-clock tail after the last input.
-        runtime_kwargs: extra :class:`GreenWebRuntime` arguments
-            (ablation knobs).
+        runtime_kwargs: extra policy parameters merged into the spec
+            (legacy ablation-knob path; unknown parameters raise).
         trace_level: :data:`repro.sim.tracing.TRACE_LEVELS` member.
             Every metric in the returned :class:`RunResult` is fed by
             streaming folds over the ``input``/``config`` categories
@@ -193,19 +233,54 @@ def run_workload(
             the records.  ``"off"`` disables tracing entirely and
             zeroes the trace-derived fields (active energy, residency).
     """
+    spec = resolve_spec(governor, runtime_kwargs)
+    entry = POLICIES.get(spec.name)
+    if entry.posthoc is not None:
+        return entry.posthoc(
+            spec,
+            app=app,
+            scenario=scenario,
+            trace_kind=trace_kind,
+            seed=seed,
+            settle_s=settle_s,
+            trace_level=trace_level,
+        )
+    return execute_run(
+        app,
+        spec.label(),
+        scenario,
+        trace_kind,
+        seed,
+        settle_s,
+        trace_level,
+        lambda platform, registry: POLICIES.build(spec, platform, registry, scenario),
+    )
+
+
+def execute_run(
+    app: str,
+    governor_label: str,
+    scenario: UsageScenario,
+    trace_kind: str,
+    seed: int,
+    settle_s: float,
+    trace_level: str,
+    policy_factory,
+) -> RunResult:
+    """The measurement core shared by live-policy runs and post-hoc
+    replays: build the world, let ``policy_factory(platform, registry)``
+    supply the policy, replay the trace for the fixed window, collect
+    metrics.  :func:`run_workload` is the spec-aware front door; the
+    oracle calls this directly with its pinned-replay policies.
+    """
     bundle = build_app(app, seed)
-    if trace_kind == "micro":
-        trace = bundle.micro_trace
-    elif trace_kind == "full":
-        trace = bundle.full_trace
-    else:
-        raise EvaluationError(f"unknown trace kind {trace_kind!r}")
+    trace = _resolve_trace(bundle, trace_kind)
 
     platform = odroid_xu_e(
         record_power_intervals=False, trace=TraceLog.for_level(trace_level)
     )
     registry = AnnotationRegistry.from_stylesheet(bundle.page.stylesheet)
-    policy = make_policy(governor, platform, registry, scenario, runtime_kwargs)
+    policy = policy_factory(platform, registry)
     browser = Browser(platform, bundle.page, policy=policy)
     config_fold = ConfigTimelineFold().attach(platform.trace)
     accountant = _ActiveWindowAccountant(platform)
@@ -271,7 +346,7 @@ def run_workload(
 
     return RunResult(
         app=app,
-        governor=governor,
+        governor=governor_label,
         scenario=scenario,
         trace_kind=trace_kind,
         duration_s=platform.kernel.now_us / 1e6,

@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import csv
 import statistics
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.core.qos import UsageScenario
 from repro.errors import EvaluationError
-from repro.evaluation.runner import GOVERNORS, RunResult, run_workload
+from repro.evaluation.runner import RunResult, run_workload
+from repro.policies import POLICIES
 from repro.workloads.registry import APP_NAMES
 
 
@@ -41,11 +42,14 @@ class SweepSpec:
         unknown_apps = set(self.apps) - set(APP_NAMES)
         if unknown_apps:
             raise EvaluationError(f"unknown apps in sweep: {sorted(unknown_apps)}")
-        unknown_governors = set(self.governors) - set(GOVERNORS)
-        if unknown_governors:
-            raise EvaluationError(
-                f"unknown governors in sweep: {sorted(unknown_governors)}"
-            )
+        # Registry-backed: each governor may be any registered policy
+        # spec (parameterized variants sweep as distinct columns); store
+        # the canonical strings so CSV rows group consistently.
+        object.__setattr__(
+            self,
+            "governors",
+            tuple(POLICIES.normalize(governor).canonical() for governor in self.governors),
+        )
 
     @property
     def cell_count(self) -> int:

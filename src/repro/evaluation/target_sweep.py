@@ -22,10 +22,10 @@ from typing import Sequence
 from repro.browser.engine import Browser
 from repro.core.annotations import AnnotationRegistry
 from repro.core.qos import UsageScenario
-from repro.core.runtime import GreenWebRuntime
 from repro.errors import EvaluationError
 from repro.evaluation.metrics import event_violation_pct, mean_violation_pct
 from repro.evaluation.runner import _ActiveWindowAccountant
+from repro.policies import POLICIES
 from repro.hardware.platform import odroid_xu_e
 from repro.sim.clock import s_to_us
 from repro.web.css.parser import parse_stylesheet
@@ -56,10 +56,14 @@ def run_target_sweep(
     app: str = "cnet",
     targets_ms: Sequence[float] = (8.0, 12.0, 16.6, 25.0, 33.3, 50.0, 80.0),
     seed: int = 0,
+    governor: str = "greenweb",
 ) -> list[TargetSweepPoint]:
     """Run ``app``'s micro trace with its animation re-annotated at each
     explicit per-frame target (TI = TU = target, imperceptible scenario,
-    so the annotated value is the operative one)."""
+    so the annotated value is the operative one).  ``governor`` is any
+    registered policy spec — sweeping an ablation variant is just e.g.
+    ``governor="greenweb(ewma_model_update=false)"``."""
+    governor_spec = POLICIES.normalize(governor)
     if app not in SWEEPABLE:
         raise EvaluationError(
             f"target sweep supports {sorted(SWEEPABLE)}, not {app!r}"
@@ -78,7 +82,9 @@ def run_target_sweep(
         registry = AnnotationRegistry.from_stylesheet(bundle.page.stylesheet)
 
         platform = odroid_xu_e(record_power_intervals=False)
-        runtime = GreenWebRuntime(platform, registry, UsageScenario.IMPERCEPTIBLE)
+        runtime = POLICIES.build(
+            governor_spec, platform, registry, UsageScenario.IMPERCEPTIBLE
+        )
         browser = Browser(platform, bundle.page, policy=runtime)
         accountant = _ActiveWindowAccountant(platform)
         driver = InteractionDriver(browser)

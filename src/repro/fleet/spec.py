@@ -12,14 +12,14 @@ the population identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
 
 from repro.core.qos import UsageScenario
 from repro.errors import EvaluationError
-from repro.evaluation.runner import GOVERNORS
+from repro.policies import POLICIES
 from repro.sim.random import RngStreams, derive_seed
 from repro.sim.tracing import TRACE_LEVELS
 from repro.workloads.registry import APP_NAMES
@@ -49,14 +49,19 @@ class MixEntry:
     weight: float = 1.0
 
     def validate(self) -> "MixEntry":
+        """Validate every field and return the canonical entry.
+
+        The governor is normalized through the policy registry, so
+        ``greenweb(boost=0, ewma=0.25)`` and
+        ``greenweb(ewma_alpha=0.25,boost=0)`` become the same canonical
+        spec string — which is what the fleet fingerprint hashes, making
+        two parameterizations of one governor distinct populations.
+        """
         if self.app not in APP_NAMES:
             raise EvaluationError(
                 f"unknown application {self.app!r}; known: {list(APP_NAMES)}"
             )
-        if self.governor not in GOVERNORS:
-            raise EvaluationError(
-                f"unknown governor {self.governor!r}; known: {list(GOVERNORS)}"
-            )
+        canonical_governor = POLICIES.normalize(self.governor).canonical()
         try:
             UsageScenario(self.scenario)
         except ValueError:
@@ -69,6 +74,8 @@ class MixEntry:
             )
         if not (self.weight > 0.0):
             raise EvaluationError(f"mix weight must be positive, got {self.weight}")
+        if canonical_governor != self.governor:
+            return replace(self, governor=canonical_governor)
         return self
 
     @property
@@ -76,29 +83,54 @@ class MixEntry:
         return f"{self.app}:{self.governor}:{self.scenario}:{self.trace_kind}"
 
 
+def _split_outside_parens(text: str, sep: str) -> list[str]:
+    """Split on ``sep`` occurrences not enclosed in parentheses, so
+    parameterized governor specs (``greenweb(ewma=0.25,boost=2)``) pass
+    through the mix grammar's ``,``/``:``/``=`` separators intact."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(0, depth - 1)
+        if char == sep and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
 def parse_mix(text: str) -> list[MixEntry]:
     """Parse a ``--mix`` string into validated entries.
 
     Grammar: comma-separated items, each
-    ``APP[:GOVERNOR[:SCENARIO[:TRACE]]][=WEIGHT]``, e.g.::
+    ``APP[:GOVERNOR[:SCENARIO[:TRACE]]][=WEIGHT]``, where GOVERNOR may
+    be a parameterized policy spec (separators inside its parentheses
+    do not split the item), e.g.::
 
-        todo:greenweb=3,cnet:perf,amazon:greenweb:usable:full=0.5
+        todo:greenweb=3,cnet:perf,amazon:greenweb(ewma=0.25):usable:full=0.5
     """
     entries = []
-    for raw in text.split(","):
+    for raw in _split_outside_parens(text, ","):
         item = raw.strip()
         if not item:
             continue
         weight = 1.0
-        if "=" in item:
-            item, weight_text = item.rsplit("=", 1)
+        weight_parts = _split_outside_parens(item, "=")
+        if len(weight_parts) > 1:
+            item = "=".join(weight_parts[:-1])
+            weight_text = weight_parts[-1]
             try:
                 weight = float(weight_text)
             except ValueError:
                 raise EvaluationError(
                     f"bad mix weight {weight_text!r} in {raw.strip()!r}"
                 ) from None
-        parts = item.split(":")
+        parts = [part.strip() for part in _split_outside_parens(item, ":")]
         if len(parts) > 4:
             raise EvaluationError(
                 f"bad mix item {raw.strip()!r}: expected "
@@ -204,8 +236,10 @@ class FleetSpec:
             raise EvaluationError(
                 f"unknown trace level {self.trace_level!r}; known: {list(TRACE_LEVELS)}"
             )
-        for entry in self.mix:
-            entry.validate()
+        # validate() canonicalizes governor specs, so re-bind the list:
+        # the fingerprint below must hash canonical strings, never the
+        # caller's spelling.
+        self.mix = [entry.validate() for entry in self.mix]
 
     def fingerprint(self) -> dict:
         """The result-determining identity of this population.

@@ -22,7 +22,7 @@ Execution time at an operating point is therefore::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 from repro.errors import HardwareError
 from repro.hardware.frequency import OperatingPoint, OppTable

@@ -1,0 +1,309 @@
+"""The policy registry: one authoritative name -> policy mapping.
+
+Every scheduling policy — the paper's baselines, the GreenWeb runtime,
+post-hoc oracles, third-party extensions — registers here once, and
+every layer that used to hard-code governor names (the runner, the
+session facade, fleet mix parsing, the CLI) validates and builds
+through the registry instead.
+
+Registering a policy::
+
+    from repro.policies import register
+
+    @register("my_policy", description="always little@600")
+    def _build(platform, registry, scenario, *, freq_mhz: int = 600):
+        return MyPolicy(platform, freq_mhz)
+
+The factory's keyword parameters (after the three fixed positionals
+``platform, registry, scenario``) define the policy's typed parameter
+schema: names are validated, string values from spec strings are
+coerced to the annotated type, and anything unknown raises
+:class:`~repro.errors.EvaluationError` with the valid parameter list.
+``params_from=SomeClass`` introspects that class's ``__init__`` instead
+(for factories that just forward ``**params``).
+
+Post-hoc policies (``posthoc=True``) do not drive a live browser:
+their callable receives the full run context and returns a finished
+:class:`~repro.evaluation.runner.RunResult` — see
+:mod:`repro.policies.oracle`.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.errors import EvaluationError
+from repro.hardware.dvfs import CpuConfig
+from repro.policies.spec import PolicySpec
+
+#: Parameter names consumed by the build call itself, never part of a
+#: policy's parameter schema.
+_FIXED_PARAMS = frozenset({"self", "platform", "registry", "scenario"})
+
+
+@dataclass(frozen=True)
+class ParamInfo:
+    """One declared policy parameter: its annotation and default."""
+
+    name: str
+    annotation: str
+    default: object
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One registered policy: factory, parameter schema, metadata."""
+
+    name: str
+    factory: Optional[Callable]
+    params: tuple[ParamInfo, ...]
+    description: str = ""
+    aliases: Mapping[str, str] = field(default_factory=dict)
+    posthoc: Optional[Callable] = None
+
+    @property
+    def param_names(self) -> list[str]:
+        return [p.name for p in self.params]
+
+    def param(self, name: str) -> ParamInfo:
+        for info in self.params:
+            if info.name == name:
+                return info
+        raise KeyError(name)
+
+
+def _annotation_text(annotation: object) -> str:
+    if annotation is inspect.Parameter.empty:
+        return ""
+    if isinstance(annotation, str):
+        return annotation
+    return getattr(annotation, "__name__", str(annotation))
+
+
+def _introspect_params(callable_obj: Callable) -> tuple[ParamInfo, ...]:
+    """Derive a parameter schema from a factory (or class) signature."""
+    target = callable_obj.__init__ if inspect.isclass(callable_obj) else callable_obj
+    params = []
+    for param in inspect.signature(target).parameters.values():
+        if param.name in _FIXED_PARAMS:
+            continue
+        if param.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        params.append(
+            ParamInfo(
+                name=param.name,
+                annotation=_annotation_text(param.annotation),
+                default=None if param.default is inspect.Parameter.empty else param.default,
+            )
+        )
+    return tuple(params)
+
+
+def _parse_cpu_config(value: str) -> CpuConfig:
+    text = value.strip()
+    if text.endswith("MHz"):
+        text = text[: -len("MHz")]
+    cluster, sep, freq = text.partition("@")
+    if not sep or not cluster or not freq.isdigit():
+        raise EvaluationError(
+            f"bad CPU configuration {value!r}: expected CLUSTER@MHZ "
+            "(e.g. 'little@600' or 'big@1800MHz')"
+        )
+    return CpuConfig(cluster, int(freq))
+
+
+def _coerce_param(policy: str, info: ParamInfo, value: object) -> object:
+    """Coerce a parsed spec value to the parameter's declared type."""
+    annotation = info.annotation
+    if "CpuConfig" in annotation:
+        if isinstance(value, CpuConfig) or value is None:
+            return value
+        if isinstance(value, str):
+            return _parse_cpu_config(value)
+        raise EvaluationError(
+            f"parameter {info.name!r} of policy {policy!r} expects a CPU "
+            f"configuration (CLUSTER@MHZ), got {value!r}"
+        )
+    if "bool" in annotation or isinstance(info.default, bool):
+        if isinstance(value, bool):
+            return value
+        raise EvaluationError(
+            f"parameter {info.name!r} of policy {policy!r} expects a bool "
+            f"(true/false), got {value!r}"
+        )
+    if "float" in annotation or isinstance(info.default, float):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise EvaluationError(
+                f"parameter {info.name!r} of policy {policy!r} expects a "
+                f"number, got {value!r}"
+            )
+        return float(value)
+    if "int" in annotation or isinstance(info.default, int):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise EvaluationError(
+                f"parameter {info.name!r} of policy {policy!r} expects an "
+                f"integer, got {value!r}"
+            )
+        return value
+    if annotation == "str" or isinstance(info.default, str):
+        if not isinstance(value, str):
+            raise EvaluationError(
+                f"parameter {info.name!r} of policy {policy!r} expects a "
+                f"string, got {value!r}"
+            )
+        return value
+    return value
+
+
+class PolicyRegistry:
+    """A mutable name -> :class:`PolicyEntry` mapping with validation."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, PolicyEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        *,
+        description: str = "",
+        params_from: Optional[Callable] = None,
+        aliases: Optional[Mapping[str, str]] = None,
+        posthoc: bool = False,
+        replace: bool = False,
+    ) -> Callable:
+        """Decorator registering a policy factory (or post-hoc runner).
+
+        Args:
+            name: the policy's spec name.
+            description: one-line summary for listings.
+            params_from: introspect this callable's signature for the
+                parameter schema instead of the decorated factory's
+                (for factories that forward ``**params``).
+            aliases: short parameter spellings, e.g.
+                ``{"ewma": "ewma_alpha"}`` — resolved during
+                normalisation so canonical specs always use full names.
+            posthoc: the callable is a post-hoc runner producing a
+                finished run result, not a live browser policy.
+            replace: allow re-registering an existing name (tests,
+                interactive reloads); otherwise duplicates raise.
+        """
+        if not replace and name in self._entries:
+            raise EvaluationError(f"policy {name!r} is already registered")
+
+        def decorator(fn: Callable) -> Callable:
+            params = _introspect_params(params_from if params_from is not None else fn)
+            alias_map = dict(aliases or {})
+            known = {p.name for p in params}
+            for short, full in alias_map.items():
+                if full not in known:
+                    raise EvaluationError(
+                        f"alias {short!r} of policy {name!r} targets unknown "
+                        f"parameter {full!r}"
+                    )
+            self._entries[name] = PolicyEntry(
+                name=name,
+                factory=None if posthoc else fn,
+                params=params,
+                description=description,
+                aliases=alias_map,
+                posthoc=fn if posthoc else None,
+            )
+            return fn
+
+        return decorator
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self) -> tuple[str, ...]:
+        """All registered policy names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def get(self, name: str) -> PolicyEntry:
+        """The entry for ``name``; the one unknown-policy error message
+        every layer (runner, session, fleet mix, CLI) reports."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise EvaluationError(
+                f"unknown policy {name!r}; known policies: {list(self.names())}"
+            ) from None
+
+    def describe(self) -> dict[str, str]:
+        """name -> one-line description, for CLI/docs listings."""
+        return {name: self._entries[name].description for name in self.names()}
+
+    # ------------------------------------------------------------------
+    # Validation / construction
+    # ------------------------------------------------------------------
+    def normalize(self, spec: "PolicySpec | str") -> PolicySpec:
+        """Validate a spec against its policy's schema and return the
+        canonical form: aliases resolved, values type-coerced, params
+        sorted.  Raises :class:`EvaluationError` on unknown policy
+        names, unknown parameters, or type mismatches."""
+        spec = PolicySpec.coerce(spec)
+        entry = self.get(spec.name)
+        resolved: dict[str, object] = {}
+        for key, value in spec.params:
+            full = entry.aliases.get(key, key)
+            if full not in {p.name for p in entry.params}:
+                if not entry.params:
+                    raise EvaluationError(
+                        f"policy {spec.name!r} accepts no parameters "
+                        f"(got {key!r})"
+                    )
+                raise EvaluationError(
+                    f"unknown parameter {key!r} for policy {spec.name!r}; "
+                    f"valid parameters: {entry.param_names}"
+                )
+            if full in resolved:
+                raise EvaluationError(
+                    f"duplicate parameter {full!r} in policy {spec.name!r} "
+                    "(alias and full name both given)"
+                )
+            resolved[full] = _coerce_param(spec.name, entry.param(full), value)
+        return PolicySpec(spec.name, tuple(resolved.items()))
+
+    def build(self, spec, platform, registry, scenario):
+        """Instantiate the live policy a spec describes.
+
+        Args:
+            spec: a :class:`PolicySpec` or spec string.
+            platform: the :class:`~repro.hardware.platform.MobilePlatform`.
+            registry: the page's
+                :class:`~repro.core.annotations.AnnotationRegistry`.
+            scenario: the :class:`~repro.core.qos.UsageScenario`.
+
+        Returns:
+            A bound-ready :class:`~repro.browser.engine.BrowserPolicy`.
+
+        Raises:
+            EvaluationError: unknown name/params, or a post-hoc policy
+                (those cannot drive a live browser).
+        """
+        spec = self.normalize(spec)
+        entry = self.get(spec.name)
+        if entry.factory is None:
+            raise EvaluationError(
+                f"policy {spec.name!r} is post-hoc: it replays whole runs "
+                "and cannot drive a live browser; use "
+                "repro.evaluation.runner.run_workload instead"
+            )
+        return entry.factory(platform, registry, scenario, **spec.params_dict)
+
+
+#: The process-wide default registry.  ``repro.policies`` registers the
+#: built-in policies on import; third parties add theirs via
+#: :func:`repro.policies.register`.
+POLICIES = PolicyRegistry()

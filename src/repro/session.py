@@ -24,7 +24,7 @@ from repro.browser.page import Page
 from repro.core.annotations import AnnotationRegistry
 from repro.core.qos import UsageScenario
 from repro.errors import EvaluationError
-from repro.evaluation.runner import GOVERNORS, RunResult, make_policy, run_workload
+from repro.evaluation.runner import RunResult, make_policy, resolve_spec, run_workload
 from repro.hardware.platform import MobilePlatform, odroid_xu_e
 from repro.sim.tracing import TRACE_LEVELS
 from repro.workloads.registry import APP_NAMES
@@ -53,14 +53,17 @@ class Session:
         runtime_kwargs: Optional[dict] = None,
         trace_level: str = "full",
     ) -> None:
-        if governor not in GOVERNORS:
-            raise EvaluationError(f"unknown governor {governor!r}; known: {list(GOVERNORS)}")
+        # Registry-backed validation: bad names and bad (spec or
+        # runtime_kwargs) parameters fail here, not mid-run; the stored
+        # governor is the canonical spec string so two sessions with
+        # equal parameterizations serialise identically.
+        resolve_spec(governor, runtime_kwargs)
         if trace_level not in TRACE_LEVELS:
             raise EvaluationError(
                 f"unknown trace level {trace_level!r}; known: {list(TRACE_LEVELS)}"
             )
         self.app_name = app_name
-        self.governor = governor
+        self.governor = resolve_spec(governor).canonical()
         self.scenario = _coerce_scenario(scenario)
         self.seed = seed
         self.runtime_kwargs = runtime_kwargs

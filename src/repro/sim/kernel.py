@@ -22,7 +22,7 @@ O(1) (the heap entry is tombstoned and skipped on pop).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.errors import SchedulingError
 

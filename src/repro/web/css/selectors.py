@@ -20,7 +20,7 @@ between multiple GreenWeb rules well-defined.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import SelectorError

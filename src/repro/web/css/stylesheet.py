@@ -9,7 +9,7 @@ conflicting GreenWeb QoS rules deterministically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.web.css.selectors import Selector

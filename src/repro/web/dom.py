@@ -8,7 +8,7 @@ CSS selectors and attaches QoS metadata to (element, event) pairs.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from repro.errors import DomError
 

@@ -15,7 +15,6 @@ rides along, consuming a core and energy.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import WorkloadError
 from repro.hardware.core import WorkUnit

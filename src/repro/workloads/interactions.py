@@ -14,7 +14,7 @@ Sec. 7.1).  Trace builders compose the LTM primitives:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.errors import WorkloadError
 from repro.sim.clock import ms_to_us

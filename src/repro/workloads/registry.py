@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import WorkloadError
 from repro.workloads.apps import APP_BUILDERS

@@ -5,7 +5,6 @@ from hypothesis import given, strategies as st
 
 from repro.errors import EvaluationError
 from repro.evaluation.analysis import (
-    FrameTimelineStats,
     TradeoffPoint,
     fps_over_time,
     frame_timeline_stats,
@@ -134,7 +133,6 @@ class TestTradeoffSpace:
         assert {p.cluster for p in frontier} == {"big", "little"}
 
     def test_integration_with_run_trace(self):
-        from repro.evaluation.runner import run_workload
 
         # frame_timeline_stats works on a real run's trace via Session
         # internals (runner drops the trace, so drive a browser here).

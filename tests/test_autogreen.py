@@ -1,6 +1,5 @@
 """Tests for the AutoGreen automatic annotation framework."""
 
-import pytest
 
 from repro.autogreen import (
     AutoGreen,

@@ -1,11 +1,10 @@
 """Tests for the browser engine: pipeline, batching, tracking, animations."""
 
-import pytest
 
 from repro.browser import Browser, BrowserPolicy, Page, RenderCostModel
 from repro.browser.vsync import VSYNC_PERIOD_US
 from repro.hardware import odroid_xu_e
-from repro.web import Callback, Document, parse_html
+from repro.web import Callback, parse_html
 from repro.web.css.parser import parse_stylesheet
 
 

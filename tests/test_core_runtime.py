@@ -1,7 +1,6 @@
 """Integration tests: GreenWeb runtime and baseline governors driving
 the full browser + platform stack."""
 
-import pytest
 
 from repro.browser import Browser, Page
 from repro.core import (

@@ -4,7 +4,6 @@ Every runnable snippet in README.md and docs/language.md is mirrored
 here so documentation drift fails the suite rather than the reader.
 """
 
-import pytest
 
 
 class TestReadmeQuickstart:

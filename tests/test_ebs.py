@@ -7,7 +7,7 @@ from repro.core.ebs import EbsGovernor
 from repro.core.qos import UsageScenario
 from repro.errors import RuntimeModelError
 from repro.evaluation.runner import run_workload
-from repro.hardware import CpuConfig, odroid_xu_e
+from repro.hardware import odroid_xu_e
 from repro.web import Callback, parse_html
 
 I = UsageScenario.IMPERCEPTIBLE

@@ -6,7 +6,6 @@ from hypothesis import given, strategies as st
 from repro.errors import HardwareError
 from repro.hardware import (
     CpuConfig,
-    MobilePlatform,
     PowerModel,
     WorkUnit,
     odroid_xu_e,

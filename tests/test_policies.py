@@ -1,0 +1,229 @@
+"""Tests for the pluggable scheduling-policy architecture.
+
+Covers the :mod:`repro.policies` spec grammar and registry, the
+post-hoc oracle lower bound, and — most importantly — a parity guard
+pinning byte-identical :class:`RunResult` output for every bare
+governor name against golden data captured before the refactor.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.annotations import AnnotationRegistry
+from repro.core.qos import UsageScenario
+from repro.errors import EvaluationError
+from repro.evaluation.runner import GOVERNORS, make_policy, run_workload
+from repro.hardware.platform import odroid_xu_e
+from repro.policies import POLICIES, PolicySpec
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "governor_parity.json"
+
+
+# ----------------------------------------------------------------------
+# Spec grammar
+# ----------------------------------------------------------------------
+class TestPolicySpec:
+    def test_bare_name_canonical_is_itself(self):
+        spec = PolicySpec.parse("greenweb")
+        assert spec.name == "greenweb"
+        assert spec.params == ()
+        assert spec.canonical() == "greenweb"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "greenweb",
+            "greenweb(ewma_alpha=0.25)",
+            "greenweb(ewma_alpha=0.25,surge_aware=true)",
+            "interactive(input_boost=false,timer_rate_ms=10.0)",
+            "ebs(tolerance_factor=2.0)",
+        ],
+    )
+    def test_round_trip(self, text):
+        """parse -> canonical -> parse is the identity."""
+        spec = PolicySpec.parse(text)
+        assert PolicySpec.parse(spec.canonical()) == spec
+        # canonical is a fixed point
+        assert PolicySpec.parse(spec.canonical()).canonical() == spec.canonical()
+
+    def test_canonical_sorts_and_strips_spaces(self):
+        a = PolicySpec.parse("greenweb(surge_aware=true, ewma_alpha=0.25)")
+        b = PolicySpec.parse("greenweb(ewma_alpha=0.25,surge_aware=true)")
+        assert a == b
+        assert a.canonical() == "greenweb(ewma_alpha=0.25,surge_aware=true)"
+
+    def test_value_types(self):
+        spec = PolicySpec.parse("x(a=1,b=2.5,c=true,d=false,e=little@600)")
+        params = spec.params_dict
+        assert params == {"a": 1, "b": 2.5, "c": True, "d": False, "e": "little@600"}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "(x=1)",
+            "greenweb(",
+            "greenweb)",
+            "greenweb(ewma=)",
+            "greenweb(=0.25)",
+            "greenweb(ewma=0.25",
+            "greenweb(ewma=0.25))",
+            "green web",
+            "greenweb(a=1;b=2)",
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(EvaluationError):
+            PolicySpec.parse(bad)
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(EvaluationError, match="duplicate"):
+            PolicySpec.parse("greenweb(ewma=0.25,ewma=0.5)")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_governors_registered(self):
+        for name in GOVERNORS:
+            assert name in POLICIES
+        assert "oracle" in POLICIES
+
+    def test_unknown_name_lists_known_policies(self):
+        with pytest.raises(EvaluationError, match="known policies"):
+            POLICIES.normalize("warp_drive")
+
+    def test_unknown_param_lists_valid_params(self):
+        with pytest.raises(EvaluationError, match="valid parameters"):
+            POLICIES.normalize("greenweb(flux_capacitor=1)")
+
+    def test_param_free_policy_rejects_params(self):
+        with pytest.raises(EvaluationError, match="accepts no parameters"):
+            POLICIES.normalize("perf(speed=11)")
+
+    def test_bad_param_type_rejected(self):
+        with pytest.raises(EvaluationError):
+            POLICIES.normalize("greenweb(recalibration_threshold=soon)")
+
+    def test_alias_resolves_to_canonical_param(self):
+        spec = POLICIES.normalize("greenweb(ewma=0.25)")
+        assert spec.canonical() == "greenweb(ewma_alpha=0.25)"
+
+    def test_normalized_params_are_coerced(self):
+        spec = POLICIES.normalize("greenweb(recalibration_threshold=5)")
+        assert spec.params_dict == {"recalibration_threshold": 5}
+
+    def test_build_parameterized_policy(self):
+        platform = odroid_xu_e(record_power_intervals=False)
+        registry = AnnotationRegistry()
+        policy = POLICIES.build(
+            "greenweb(ewma=0.25,surge_aware=true)",
+            platform,
+            registry,
+            UsageScenario.IMPERCEPTIBLE,
+        )
+        assert policy.ewma_alpha == 0.25
+        assert policy.surge_aware is True
+
+    def test_build_refuses_posthoc_policy(self):
+        platform = odroid_xu_e(record_power_intervals=False)
+        registry = AnnotationRegistry()
+        with pytest.raises(EvaluationError, match="post-hoc"):
+            POLICIES.build("oracle", platform, registry, UsageScenario.IMPERCEPTIBLE)
+
+    def test_make_policy_rejects_unknown_runtime_kwargs(self):
+        platform = odroid_xu_e(record_power_intervals=False)
+        registry = AnnotationRegistry()
+        with pytest.raises(EvaluationError):
+            make_policy(
+                "greenweb",
+                platform,
+                registry,
+                UsageScenario.IMPERCEPTIBLE,
+                runtime_kwargs={"not_a_knob": 1},
+            )
+        with pytest.raises(EvaluationError, match="accepts no parameters"):
+            make_policy(
+                "perf",
+                platform,
+                registry,
+                UsageScenario.IMPERCEPTIBLE,
+                runtime_kwargs={"anything": 1},
+            )
+
+    def test_describe_covers_every_policy(self):
+        described = POLICIES.describe()
+        assert set(described) == set(POLICIES.names())
+        for description in described.values():
+            assert description
+
+
+# ----------------------------------------------------------------------
+# run_workload integration
+# ----------------------------------------------------------------------
+class TestSpecRuns:
+    def test_parameterized_run_labels_canonically(self):
+        result = run_workload(
+            "todo", "greenweb(ewma=0.25)", UsageScenario.IMPERCEPTIBLE, "micro", 0
+        )
+        assert result.governor == "greenweb(ewma_alpha=0.25)"
+
+    def test_default_params_match_bare_name(self):
+        bare = run_workload("todo", "greenweb", UsageScenario.IMPERCEPTIBLE, "micro", 0)
+        explicit = run_workload(
+            "todo",
+            "greenweb(ewma_alpha=0.3,recalibration_threshold=3)",
+            UsageScenario.IMPERCEPTIBLE,
+            "micro",
+            0,
+        )
+        assert bare.active_energy_j == explicit.active_energy_j
+        assert bare.mean_violation_pct == explicit.mean_violation_pct
+
+
+# ----------------------------------------------------------------------
+# Oracle lower bound
+# ----------------------------------------------------------------------
+class TestOracle:
+    def test_oracle_energy_lower_bounds_greenweb(self):
+        oracle = run_workload(
+            "todo", "oracle", UsageScenario.IMPERCEPTIBLE, "micro", 3
+        )
+        greenweb = run_workload(
+            "todo", "greenweb", UsageScenario.IMPERCEPTIBLE, "micro", 3
+        )
+        # The oracle is a post-hoc minimum: no worse than any live policy.
+        assert oracle.active_energy_j <= greenweb.active_energy_j + 1e-12
+        # ... while still meeting every annotated QoS target.
+        assert oracle.mean_violation_pct == 0.0
+        assert oracle.governor == "oracle"
+        assert oracle.runtime_stats["oracle_assignments"]
+
+    def test_oracle_refuses_live_construction(self):
+        entry = POLICIES.get("oracle")
+        assert entry.posthoc is not None
+        assert entry.factory is None
+
+
+# ----------------------------------------------------------------------
+# Parity guard: the refactor must not move a single bit
+# ----------------------------------------------------------------------
+class TestGovernorParity:
+    """Golden-data guard captured on the pre-refactor runner.
+
+    Every bare governor name must produce a byte-identical
+    ``RunResult.to_dict()`` (app=todo, seed=3, micro trace,
+    imperceptible).  Regenerate the golden file only for a deliberate,
+    documented behaviour change.
+    """
+
+    @pytest.mark.parametrize("governor", GOVERNORS)
+    def test_bare_names_byte_identical(self, governor):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        result = run_workload(
+            "todo", governor, UsageScenario.IMPERCEPTIBLE, "micro", 3
+        )
+        assert json.loads(json.dumps(result.to_dict())) == golden[governor]

@@ -14,9 +14,9 @@ from repro.browser.frame_tracker import FrameTracker
 from repro.browser.messages import InputMsg
 from repro.core import AnnotationRegistry, GreenWebRuntime, UsageScenario
 from repro.core.governors import InteractiveGovernor, PerfGovernor
-from repro.errors import BrowserError, CssError, ReproError
+from repro.errors import BrowserError, ReproError
 from repro.hardware import CpuConfig, WorkUnit, odroid_xu_e
-from repro.web import Callback, Document, parse_html
+from repro.web import Callback, parse_html
 from repro.web.css.parser import parse_stylesheet
 from repro.web.events import EventType
 

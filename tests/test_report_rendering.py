@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import main
-from repro.core.qos import QoSTarget, QoSType, UsageScenario
+from repro.core.qos import QoSType
 from repro.evaluation.experiments import (
     DistributionRow,
     FullInteractionRow,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.browser import Browser
-from repro.core import AnnotationRegistry, QoSType
+from repro.core import AnnotationRegistry
 from repro.core.qos import QoSType as QT
 from repro.errors import WorkloadError
 from repro.hardware import odroid_xu_e
