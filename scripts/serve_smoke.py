@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""CI smoke: the serve daemon end to end, including restart/resume.
+
+Orchestration (all through the real CLI, in subprocesses):
+
+1. Start ``repro serve`` and ``POST /jobs`` the reference spec; read the
+   SSE stream to its terminal ``result`` event.
+2. Run ``repro fleet --json-out`` for the same spec; the SSE result and
+   the batch JSON must be byte-identical.
+3. Restart the daemon with the test-only ``REPRO_FLEET_INJECT_CRASH``
+   hook hanging the last shard, submit a second job, wait for two
+   shards to land, and SIGTERM the daemon mid-job.  It must exit
+   143 (128+SIGTERM) after draining.
+4. Start a third daemon life on the same state dir *without* the hook:
+   it must resume the interrupted job from its checkpoint journal and
+   finish it — byte-identical to the batch JSON again.
+
+Exits non-zero (with a diagnostic) on any deviation.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SPEC = {"sessions": 8, "shard_size": 2, "seed": 11,
+        "mix": "todo:greenweb,cnet:perf"}
+SPEC_ARGS = [
+    "fleet", "--sessions", "8", "--shard-size", "2", "--seed", "11",
+    "--mix", "todo:greenweb,cnet:perf",
+]
+HANG = {"shard": 3, "attempts": 99, "mode": "sleep", "sleep_s": 300.0}
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def start_daemon(port: int, state_dir: str, inject=None) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH="src")
+    if inject is not None:
+        env["REPRO_FLEET_INJECT_CRASH"] = json.dumps(inject)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--jobs", "2", "--state-dir", state_dir, "--quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        cwd=REPO_ROOT, env=env,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            stdout, stderr = proc.communicate()
+            fail(f"daemon died on startup ({proc.returncode}):\n"
+                 f"stdout:\n{stdout}\nstderr:\n{stderr}")
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=2
+            ):
+                return proc
+        except (urllib.error.URLError, ConnectionError, TimeoutError):
+            time.sleep(0.1)
+    proc.kill()
+    fail("daemon did not answer /healthz within 30s")
+
+
+def submit_job(port: int) -> str:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/jobs",
+        data=json.dumps(SPEC).encode("utf-8"), method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        detail = json.load(response)
+        if response.status != 201:
+            fail(f"POST /jobs returned {response.status}: {detail}")
+    return detail["id"]
+
+
+def stream_terminal_result(port: int, job_id: str, timeout=180.0) -> str:
+    """Follow the SSE stream to its terminal event; return the payload."""
+    url = f"http://127.0.0.1:{port}/jobs/{job_id}/events"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        name, data_lines = "message", []
+        for raw in response:
+            line = raw.decode("utf-8").rstrip("\n")
+            if line.startswith(":"):
+                continue
+            if line == "":
+                if data_lines and name in ("result", "failed", "cancelled"):
+                    if name != "result":
+                        fail(f"job {job_id} ended with {name}: "
+                             f"{chr(10).join(data_lines)}")
+                    return "\n".join(data_lines)
+                name, data_lines = "message", []
+                continue
+            field, _, value = line.partition(":")
+            value = value[1:] if value.startswith(" ") else value
+            if field == "event":
+                name = value
+            elif field == "data":
+                data_lines.append(value)
+    fail(f"SSE stream for {job_id} ended without a terminal event")
+
+
+def shards_done(port: int, job_id: str) -> int:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/jobs/{job_id}", timeout=5
+    ) as response:
+        return json.load(response)["progress"]["shards_done"]
+
+
+def batch_json(path: str) -> bytes:
+    run = subprocess.run(
+        [sys.executable, "-m", "repro"] + SPEC_ARGS
+        + ["--progress", "never", "--json-out", path],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+        env=dict(os.environ, PYTHONPATH="src"), timeout=180,
+    )
+    if run.returncode != 0:
+        fail(f"batch fleet run failed ({run.returncode}):\n{run.stderr}")
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        state_dir = os.path.join(tmp, "state")
+        reference = batch_json(os.path.join(tmp, "batch.json"))
+        print(f"batch reference: {len(reference)} bytes")
+
+        # --- life 1: clean job, SSE result must equal the batch JSON --
+        port = free_port()
+        daemon = start_daemon(port, state_dir)
+        try:
+            job_id = submit_job(port)
+            result = stream_terminal_result(port, job_id).encode("utf-8")
+            if result != reference:
+                fail("SSE terminal result differs from repro fleet "
+                     f"--json-out\nsse:\n{result.decode()}\n"
+                     f"batch:\n{reference.decode()}")
+            print(f"job {job_id}: SSE result byte-identical "
+                  f"({len(result)} bytes)")
+        finally:
+            daemon.terminate()
+            daemon.wait(timeout=60)
+
+        # --- life 2: hang the last shard, SIGTERM mid-job -------------
+        port = free_port()
+        daemon = start_daemon(port, state_dir, inject=HANG)
+        try:
+            job_id = submit_job(port)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline and shards_done(port, job_id) < 2:
+                time.sleep(0.1)
+            if shards_done(port, job_id) < 2:
+                fail("job made no progress within 60s")
+            daemon.send_signal(signal.SIGTERM)
+            stdout, stderr = daemon.communicate(timeout=90)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+        if daemon.returncode != 128 + signal.SIGTERM:
+            fail(f"expected exit {128 + signal.SIGTERM} after SIGTERM, got "
+                 f"{daemon.returncode}\nstdout:\n{stdout}\nstderr:\n{stderr}")
+        print(f"daemon drained on SIGTERM mid-job (exit {daemon.returncode})")
+
+        # --- life 3: restart without the hook; job must resume --------
+        port = free_port()
+        daemon = start_daemon(port, state_dir)
+        try:
+            resumed = stream_terminal_result(port, job_id).encode("utf-8")
+            if resumed != reference:
+                fail("resumed job's result differs from the batch JSON\n"
+                     f"resumed:\n{resumed.decode()}\n"
+                     f"batch:\n{reference.decode()}")
+            print(f"job {job_id}: resumed after restart, byte-identical "
+                  f"({len(resumed)} bytes)")
+        finally:
+            daemon.terminate()
+            daemon.wait(timeout=60)
+    print("serve smoke OK")
+
+
+if __name__ == "__main__":
+    main()

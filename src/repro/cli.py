@@ -11,7 +11,14 @@ Commands:
   ``--jobs N`` fans the experiment matrix out over N worker processes.
 * ``fleet`` — simulate a *population* of sessions (a weighted mix of
   apps x governors x scenarios) in parallel shards with streaming
-  aggregation; ``--json-out`` writes the deterministic summary.
+  aggregation; ``--json-out`` writes the deterministic summary and
+  ``--progress`` draws a live stderr heartbeat.
+* ``serve`` — run the fleet-as-a-service HTTP daemon: submit jobs over
+  ``POST /jobs``, stream live aggregates over SSE, browse HTML
+  dashboards; in-flight jobs resume after a restart.
+* ``checkpoint inspect PATH`` — describe a fleet checkpoint journal
+  (fingerprint, completed shards, torn-tail status) without running
+  anything.
 * ``autogreen APP`` — run AutoGreen on the unannotated application and
   print the generated GreenWeb CSS.
 """
@@ -23,11 +30,12 @@ import json
 import os
 import signal
 import sys
-import tempfile
+import time
 
 from repro.core.qos import UsageScenario
 from repro.errors import ReproError
 from repro.evaluation.runner import run_workload
+from repro.ioutil import probe_writable, write_file_atomic
 from repro.policies import POLICIES
 from repro.sim.tracing import TRACE_LEVELS
 from repro.workloads.registry import APP_NAMES, build_app, table3_specs
@@ -45,33 +53,11 @@ def _cmd_apps(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _probe_writable(path: str, flag: str) -> None:
-    """Fail fast on an unwritable output path *without creating it*.
-
-    Probing by opening in append mode would materialise an empty file;
-    if the run then never reaches its final write (failure, Ctrl-C),
-    that zero-byte artifact looks exactly like a truncated result.
-    """
-    if os.path.exists(path):
-        if os.path.isdir(path):
-            raise IsADirectoryError(f"{flag} path {path!r} is a directory")
-        if not os.access(path, os.W_OK):
-            raise PermissionError(f"{flag} path {path!r} is not writable")
-    else:
-        directory = os.path.dirname(os.path.abspath(path))
-        if not os.path.isdir(directory):
-            raise FileNotFoundError(
-                f"{flag} directory {directory!r} does not exist"
-            )
-        if not os.access(directory, os.W_OK):
-            raise PermissionError(f"{flag} directory {directory!r} is not writable")
-
-
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.export_trace:
         # Validate the output path before the simulation, not after:
         # a typo'd path must fail in milliseconds, not minutes.
-        _probe_writable(args.export_trace, "--export-trace")
+        probe_writable(args.export_trace, "--export-trace")
     result = run_workload(
         args.app,
         args.governor,
@@ -214,26 +200,42 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _write_file_atomic(path: str, text: str) -> None:
-    """Write via a sibling temp file and rename, so an interrupted run
-    never leaves ``path`` truncated or half-written."""
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".repro-", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-        # mkstemp creates 0600 files; give the final output the normal
-        # umask-derived permissions instead.
-        umask = os.umask(0)
-        os.umask(umask)
-        os.chmod(tmp_path, 0o666 & ~umask)
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+class _ProgressLine:
+    """The ``fleet --progress`` stderr heartbeat.
+
+    One ``\\r``-overwritten line per accepted shard: shards and sessions
+    done, throughput, and a naive remaining-work / current-rate ETA.
+    It writes only to stderr so ``--json-out``/stdout consumers never
+    see it, and clears itself before the summary prints.
+    """
+
+    def __init__(self, sessions_total: int):
+        self.sessions_total = sessions_total
+        self.sessions_done = 0
+        self.started = time.monotonic()
+        self._last_width = 0
+
+    def on_shard(self, partial: dict, done: int, total: int) -> None:
+        self.sessions_done += partial["sessions"]
+        elapsed = time.monotonic() - self.started
+        rate = self.sessions_done / elapsed if elapsed > 0 else 0.0
+        remaining = max(self.sessions_total - self.sessions_done, 0)
+        eta = f"{remaining / rate:4.0f} s" if rate > 0 else "   ? s"
+        line = (
+            f"shards {done}/{total}  sessions "
+            f"{self.sessions_done}/{self.sessions_total}  "
+            f"{rate:5.1f}/s  eta {eta}"
+        )
+        # Pad over the previous line so a shrinking line leaves no tail.
+        pad = " " * max(self._last_width - len(line), 0)
+        print(f"\r{line}{pad}", end="", file=sys.stderr, flush=True)
+        self._last_width = len(line)
+
+    def clear(self) -> None:
+        if self._last_width:
+            print("\r" + " " * self._last_width + "\r", end="",
+                  file=sys.stderr, flush=True)
+            self._last_width = 0
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -268,11 +270,24 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         # of simulation — without creating the file, so a run that
         # never reaches the final write leaves no empty artifact that
         # looks like a truncated result.
-        _probe_writable(args.json_out, "--json-out")
+        probe_writable(args.json_out, "--json-out")
 
-    result = Fleet(
-        spec, jobs=args.jobs, checkpoint=args.checkpoint, resume=args.resume
-    ).run()
+    progress = None
+    if args.progress == "always" or (
+        args.progress == "auto" and sys.stderr.isatty()
+    ):
+        progress = _ProgressLine(spec.sessions)
+    try:
+        result = Fleet(
+            spec,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            on_shard=progress.on_shard if progress else None,
+        ).run()
+    finally:
+        if progress:
+            progress.clear()
     aggregate = result.aggregate
 
     print(f"fleet:       {result.sessions} sessions, seed {result.seed}, "
@@ -317,9 +332,62 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
               f"{result.sessions_completed}/{result.sessions} sessions; {where}")
         return 128 + result.interrupted
     if args.json_out:
-        _write_file_atomic(args.json_out, result.to_json())
+        write_file_atomic(args.json_out, result.to_json())
         print(f"json:        {args.json_out}")
     return 0 if result.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import main_serve
+
+    return main_serve(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        workers=args.jobs,
+        quiet=args.quiet,
+    )
+
+
+def _cmd_checkpoint_inspect(args: argparse.Namespace) -> int:
+    """Describe a checkpoint journal without touching it.
+
+    Exit codes: 0 for a readable journal (even one with a torn tail —
+    that is expected damage a resume repairs), 2 when the file is
+    missing or not a checkpoint at all.
+    """
+    from repro.errors import EvaluationError
+    from repro.fleet.checkpoint import CHECKPOINT_VERSION, scan_checkpoint
+
+    size = os.path.getsize(args.journal)  # OSError -> exit 2 via main()
+    header, completed, intact_bytes = scan_checkpoint(args.journal)
+    if header is None:
+        raise EvaluationError(
+            f"{args.journal} has no intact header record; not a usable "
+            f"checkpoint"
+        )
+    print(f"journal:     {args.journal} ({size} bytes)")
+    version = header.get("version")
+    compat = "" if version == CHECKPOINT_VERSION else (
+        f"  (this build writes v{CHECKPOINT_VERSION}; resume will refuse)"
+    )
+    print(f"format:      v{version}{compat}")
+    fingerprint = header.get("fingerprint") or {}
+    for key in sorted(fingerprint):
+        value = str(fingerprint[key])
+        if len(value) > 120:
+            value = f"{value[:117]}..."
+        print(f"  {key + ':':14s}{value}")
+    sessions = sum(partial["sessions"] for partial in completed.values())
+    shards = ", ".join(str(index) for index in sorted(completed)) or "(none)"
+    print(f"completed:   {len(completed)} shard(s), {sessions} sessions")
+    print(f"  shards:      {shards}")
+    if intact_bytes < size:
+        print(f"tail:        TORN — last {size - intact_bytes} byte(s) are "
+              f"an interrupted write; resume truncates and reruns them")
+    else:
+        print("tail:        intact")
+    return 0
 
 
 def _cmd_autogreen(args: argparse.Namespace) -> int:
@@ -440,7 +508,49 @@ def build_parser() -> argparse.ArgumentParser:
         "for a different spec.  The resumed run's JSON is byte-identical "
         "to an uninterrupted one",
     )
+    fleet_parser.add_argument(
+        "--progress", choices=["auto", "always", "never"], default="auto",
+        help="stderr heartbeat (shards, sessions/s, ETA) updated per "
+        "completed shard; auto shows it only when stderr is a TTY "
+        "(default: auto)",
+    )
     fleet_parser.set_defaults(fn=_cmd_fleet)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the fleet-as-a-service HTTP daemon"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8734, help="TCP port (default: 8734)"
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="persistent worker processes shared across jobs (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--state-dir", default="repro-serve", metavar="DIR",
+        help="job records, checkpoint journals, and results live here; "
+        "restarting with the same DIR resumes in-flight jobs "
+        "(default: ./repro-serve)",
+    )
+    serve_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+    serve_parser.set_defaults(fn=_cmd_serve)
+
+    checkpoint_parser = sub.add_parser(
+        "checkpoint", help="inspect fleet checkpoint journals"
+    )
+    checkpoint_sub = checkpoint_parser.add_subparsers(
+        dest="checkpoint_command", required=True
+    )
+    inspect_parser = checkpoint_sub.add_parser(
+        "inspect", help="describe a journal: fingerprint, shards, tail"
+    )
+    inspect_parser.add_argument("journal", help="checkpoint JSONL path")
+    inspect_parser.set_defaults(fn=_cmd_checkpoint_inspect)
 
     analyze_parser = sub.add_parser("analyze", help="frame-timeline stats for a run")
     analyze_parser.add_argument("app", choices=APP_NAMES)

@@ -35,10 +35,17 @@ CLI equivalent: ``python -m repro fleet --sessions 1000 --jobs 4
 --checkpoint fleet.ckpt`` (add ``--resume`` after an interruption).
 """
 
-from repro.fleet.aggregate import Accumulator, FleetAggregate, GroupAggregate, Histogram
+from repro.fleet.aggregate import (
+    Accumulator,
+    FleetAggregate,
+    GroupAggregate,
+    Histogram,
+    cell_key,
+    split_cell_key,
+)
 from repro.fleet.checkpoint import CHECKPOINT_VERSION, CheckpointStore, scan_checkpoint
 from repro.fleet.driver import Fleet, FleetResult, ShardFailure
-from repro.fleet.pool import parallel_map
+from repro.fleet.pool import WorkerPool, parallel_map
 from repro.fleet.spec import (
     DEFAULT_SHARD_SIZE,
     FINGERPRINT_VERSION,
@@ -67,9 +74,12 @@ __all__ = [
     "SessionSpec",
     "Shard",
     "ShardFailure",
+    "WorkerPool",
+    "cell_key",
     "default_mix",
     "parallel_map",
     "parse_mix",
     "run_shard_job",
     "scan_checkpoint",
+    "split_cell_key",
 ]

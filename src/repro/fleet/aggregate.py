@@ -149,29 +149,54 @@ class Histogram:
         )
 
 
+#: Separator for :attr:`FleetAggregate.by_cell` keys.  Canonical policy
+#: specs may contain ``(`` ``)`` ``,`` ``=`` and ``:`` never appears in
+#: app or scenario names, but ``|`` is safe against all three fields.
+CELL_SEP = "|"
+
+
+def cell_key(app: str, scenario: str, governor: str) -> str:
+    """The ``by_cell`` grouping key for one (app, scenario, policy)."""
+    return f"{app}{CELL_SEP}{scenario}{CELL_SEP}{governor}"
+
+
+def split_cell_key(key: str) -> tuple[str, str, str]:
+    """Inverse of :func:`cell_key` (policy specs never contain ``|``)."""
+    app, scenario, governor = key.split(CELL_SEP, 2)
+    return app, scenario, governor
+
+
 @dataclass
 class GroupAggregate:
-    """Per-group (governor or application) session statistics."""
+    """Per-group (governor, application, or cell) session statistics."""
 
     sessions: int = 0
     energy_j: Accumulator = field(default_factory=Accumulator)
     violation_pct: Accumulator = field(default_factory=Accumulator)
+    freq_switches: int = 0
+    migrations: int = 0
 
     def add_run(self, run: dict) -> None:
         self.sessions += 1
         self.energy_j.add(run["energy_j"])
         self.violation_pct.add(run["mean_violation_pct"])
+        self.freq_switches += run.get("freq_switches", 0)
+        self.migrations += run.get("migrations", 0)
 
     def merge(self, other: "GroupAggregate") -> None:
         self.sessions += other.sessions
         self.energy_j.merge(other.energy_j)
         self.violation_pct.merge(other.violation_pct)
+        self.freq_switches += other.freq_switches
+        self.migrations += other.migrations
 
     def to_dict(self) -> dict:
         return {
             "sessions": self.sessions,
             "energy_j": self.energy_j.to_dict(),
             "violation_pct": self.violation_pct.to_dict(),
+            "freq_switches": self.freq_switches,
+            "migrations": self.migrations,
         }
 
     @classmethod
@@ -180,6 +205,8 @@ class GroupAggregate:
             sessions=data["sessions"],
             energy_j=Accumulator.from_dict(data["energy_j"]),
             violation_pct=Accumulator.from_dict(data["violation_pct"]),
+            freq_switches=data.get("freq_switches", 0),
+            migrations=data.get("migrations", 0),
         )
 
 
@@ -216,8 +243,13 @@ class FleetAggregate:
     energy_hist: Histogram = field(default_factory=_energy_hist)
     #: per-session mean input-to-completion latency, milliseconds
     latency_hist: Histogram = field(default_factory=_latency_hist)
+    freq_switches: int = 0
+    migrations: int = 0
     by_governor: dict[str, GroupAggregate] = field(default_factory=dict)
     by_app: dict[str, GroupAggregate] = field(default_factory=dict)
+    #: (app, scenario, governor) cells (see :func:`cell_key`) — the
+    #: grouping the policy-comparison dashboard renders.
+    by_cell: dict[str, GroupAggregate] = field(default_factory=dict)
 
     def add_run(self, run: dict) -> None:
         self.sessions += 1
@@ -228,10 +260,16 @@ class FleetAggregate:
         self.violation_pct.add(run["mean_violation_pct"])
         self.violation_hist.add(run["mean_violation_pct"])
         self.energy_hist.add(run["energy_j"])
+        self.freq_switches += run.get("freq_switches", 0)
+        self.migrations += run.get("migrations", 0)
         if run["inputs"]:
             self.latency_hist.add(1000.0 * run["active_time_s"] / run["inputs"])
         self.by_governor.setdefault(run["governor"], GroupAggregate()).add_run(run)
         self.by_app.setdefault(run["app"], GroupAggregate()).add_run(run)
+        cell = cell_key(
+            run["app"], run.get("scenario", "imperceptible"), run["governor"]
+        )
+        self.by_cell.setdefault(cell, GroupAggregate()).add_run(run)
 
     def merge(self, other: "FleetAggregate") -> None:
         self.sessions += other.sessions
@@ -243,10 +281,14 @@ class FleetAggregate:
         self.violation_hist.merge(other.violation_hist)
         self.energy_hist.merge(other.energy_hist)
         self.latency_hist.merge(other.latency_hist)
+        self.freq_switches += other.freq_switches
+        self.migrations += other.migrations
         for name, group in other.by_governor.items():
             self.by_governor.setdefault(name, GroupAggregate()).merge(group)
         for name, group in other.by_app.items():
             self.by_app.setdefault(name, GroupAggregate()).merge(group)
+        for name, group in other.by_cell.items():
+            self.by_cell.setdefault(name, GroupAggregate()).merge(group)
 
     def to_dict(self) -> dict:
         """Plain-data form with deterministically sorted group keys."""
@@ -260,12 +302,17 @@ class FleetAggregate:
             "violation_hist": self.violation_hist.to_dict(),
             "energy_hist": self.energy_hist.to_dict(),
             "latency_hist": self.latency_hist.to_dict(),
+            "freq_switches": self.freq_switches,
+            "migrations": self.migrations,
             "by_governor": {
                 name: self.by_governor[name].to_dict()
                 for name in sorted(self.by_governor)
             },
             "by_app": {
                 name: self.by_app[name].to_dict() for name in sorted(self.by_app)
+            },
+            "by_cell": {
+                name: self.by_cell[name].to_dict() for name in sorted(self.by_cell)
             },
         }
 
@@ -281,6 +328,8 @@ class FleetAggregate:
             violation_hist=Histogram.from_dict(data["violation_hist"]),
             energy_hist=Histogram.from_dict(data["energy_hist"]),
             latency_hist=Histogram.from_dict(data["latency_hist"]),
+            freq_switches=data.get("freq_switches", 0),
+            migrations=data.get("migrations", 0),
             by_governor={
                 name: GroupAggregate.from_dict(group)
                 for name, group in data["by_governor"].items()
@@ -288,5 +337,9 @@ class FleetAggregate:
             by_app={
                 name: GroupAggregate.from_dict(group)
                 for name, group in data["by_app"].items()
+            },
+            by_cell={
+                name: GroupAggregate.from_dict(group)
+                for name, group in data.get("by_cell", {}).items()
             },
         )

@@ -20,7 +20,12 @@ Execution model:
 * SIGINT/SIGTERM during a pooled run triggers a graceful stop: no new
   shards are submitted, in-flight workers are terminated, the
   checkpoint is flushed, and the partial result reports which signal
-  stopped it (a second signal exits immediately).
+  stopped it (a second signal exits immediately);
+* embedders (the ``repro serve`` daemon, progress heartbeats) can pass
+  ``on_shard=`` to observe each accepted partial as it lands, ``stop=``
+  (a :class:`threading.Event`) for a signal-free cooperative stop, and
+  ``pool=`` (a :class:`repro.fleet.pool.WorkerPool`) to share one warm
+  worker pool across many runs.
 """
 
 from __future__ import annotations
@@ -30,38 +35,24 @@ import signal
 import threading
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import EvaluationError
 from repro.fleet.aggregate import FleetAggregate
 from repro.fleet.checkpoint import CheckpointStore
+from repro.fleet.pool import WorkerPool
 from repro.fleet.spec import FleetSpec, Shard
-from repro.fleet.worker import ignore_interrupts, run_shard_job
+from repro.fleet.worker import run_shard_job
 
 #: How often the pool loop wakes to check shard deadlines (seconds).
 _POLL_S = 0.05
 
-
-def _shutdown_pool(executor: ProcessPoolExecutor) -> None:
-    """Stop a pool's workers for real, hung ones included.
-
-    ``executor.shutdown`` never stops a worker stuck in user code, so
-    every exit path — normal completion, deadline rebuild, exception,
-    graceful interruption — must terminate the processes outright or a
-    hung shard outlives the run as a leaked process.
-    """
-    processes = list(getattr(executor, "_processes", {}).values())
-    executor.shutdown(wait=False, cancel_futures=True)
-    for process in processes:
-        process.terminate()
-    for process in processes:
-        process.join(timeout=5.0)
-        if process.is_alive():
-            process.kill()
-            process.join()
+#: ``on_shard`` callback type: (partial dict, accepted shard count so
+#: far — resumed shards included, total shard count).
+ShardCallback = Callable[[dict, int, int], None]
 
 
 @dataclass
@@ -97,11 +88,15 @@ class FleetResult:
     #: enters :meth:`to_dict`, so a resumed-to-completion run stays
     #: byte-identical to an uninterrupted one.
     interrupted: Optional[int] = None
+    #: True when a cooperative ``stop`` event ended the run early
+    #: (job cancellation, daemon drain).  Execution fact only, like
+    #: ``interrupted`` — never serialised.
+    stopped: bool = False
 
     @property
     def ok(self) -> bool:
         """True when every session of the population was aggregated."""
-        return not self.failures and self.interrupted is None
+        return not self.failures and self.interrupted is None and not self.stopped
 
     def to_dict(self) -> dict:
         """Plain-data form.
@@ -148,6 +143,18 @@ class Fleet:
     shard partial; ``resume=True`` reloads completed shards from it —
     refusing if it was written for a different spec fingerprint — and
     runs only the rest.
+
+    ``on_shard(partial, accepted, total)`` is called for every accepted
+    shard partial — resumed shards first (in shard-index order, before
+    any fresh shard runs), then fresh ones in acceptance order.  It runs
+    on the driver thread and must not raise.  ``stop`` is a
+    :class:`threading.Event`; setting it stops the run gracefully (no
+    new shards submitted, in-flight work dropped — unrecorded shards
+    simply rerun on resume) with ``result.stopped`` set.  ``pool`` is a
+    caller-owned :class:`~repro.fleet.pool.WorkerPool` to execute on;
+    the driver never shuts it down (it rebuilds it when a hang, broken
+    worker, or early stop leaves work in flight), so one warm pool can
+    serve many sequential runs.
     """
 
     def __init__(
@@ -156,6 +163,9 @@ class Fleet:
         jobs: int = 1,
         checkpoint: Optional[str] = None,
         resume: bool = False,
+        pool: Optional[WorkerPool] = None,
+        on_shard: Optional[ShardCallback] = None,
+        stop: Optional[threading.Event] = None,
     ) -> None:
         if jobs <= 0:
             raise EvaluationError(f"fleet needs >= 1 job, got {jobs}")
@@ -165,6 +175,11 @@ class Fleet:
         self.jobs = jobs
         self.checkpoint = checkpoint
         self.resume = resume
+        self.pool = pool
+        self.on_shard = on_shard
+        self.stop = stop
+        self._accepted = 0
+        self._total_shards = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -172,6 +187,8 @@ class Fleet:
     def run(self) -> FleetResult:
         started = time.monotonic()
         shards = self.spec.shards()
+        self._accepted = 0
+        self._total_shards = len(shards)
         store: Optional[CheckpointStore] = None
         preloaded: dict[int, dict] = {}
         if self.checkpoint is not None:
@@ -189,17 +206,24 @@ class Fleet:
             preloaded = store.completed
 
         interrupted: Optional[int] = None
+        stopped = False
         try:
+            # Announce resumed shards (in shard-index order, before any
+            # fresh shard runs) so progress heartbeats and streaming
+            # consumers account for them immediately.
+            for shard in shards:
+                if shard.index in preloaded:
+                    self._notify(preloaded[shard.index])
             todo = [shard for shard in shards if shard.index not in preloaded]
             if not todo:
                 results, retries, failures = {}, 0, []
-            elif self.jobs == 1:
-                results, retries, failures, interrupted = self._run_inline(
-                    todo, store
+            elif self.pool is None and self.jobs == 1:
+                results, retries, failures, interrupted, stopped = (
+                    self._run_inline(todo, store)
                 )
             else:
-                results, retries, failures, interrupted = self._run_pooled(
-                    todo, store
+                results, retries, failures, interrupted, stopped = (
+                    self._run_pooled(todo, store)
                 )
             results.update(preloaded)
         finally:
@@ -230,11 +254,21 @@ class Fleet:
             elapsed_s=time.monotonic() - started,
             resumed_shards=len(preloaded),
             interrupted=interrupted,
+            stopped=stopped,
         )
 
     # ------------------------------------------------------------------
     # Execution backends
     # ------------------------------------------------------------------
+    def _notify(self, partial: dict) -> None:
+        """Count one accepted partial and inform the observer."""
+        self._accepted += 1
+        if self.on_shard is not None:
+            self.on_shard(partial, self._accepted, self._total_shards)
+
+    def _stop_requested(self) -> bool:
+        return self.stop is not None and self.stop.is_set()
+
     def _payload(self, shard: Shard, attempt: int) -> dict:
         payload = {
             "shard": shard.index,
@@ -260,8 +294,12 @@ class Fleet:
         failures: list[ShardFailure] = []
         retries = 0
         interrupted: Optional[int] = None
+        stopped = False
         try:
             for shard in shards:
+                if self._stop_requested():
+                    stopped = True
+                    break
                 for attempt in range(self.spec.max_retries + 1):
                     try:
                         partial = run_shard_job(self._payload(shard, attempt))
@@ -276,10 +314,11 @@ class Fleet:
                         results[shard.index] = partial
                         if store is not None:
                             store.record(partial)
+                        self._notify(partial)
                         break
         except KeyboardInterrupt:
             interrupted = signal.SIGINT
-        return results, retries, failures, interrupted
+        return results, retries, failures, interrupted, stopped
 
     def _run_pooled(self, shards: list[Shard], store: Optional[CheckpointStore]):
         """Process-pool backend with per-shard deadlines and retry.
@@ -298,7 +337,18 @@ class Fleet:
         returns what it has, checkpoint already flushed.  The handler
         re-arms the default handlers as its first act, so a second
         signal exits immediately.
+
+        With a caller-owned pool (``self.pool``), the same machinery
+        runs on borrowed workers: the in-flight cap is the pool's
+        worker count, a hang still rebuilds the pool (the pool object
+        survives, only its processes are replaced), and teardown never
+        shuts the pool down — it only rebuilds it when an early exit
+        leaves shards in flight, so the next run starts from a clean
+        pool instead of racing abandoned work.
         """
+        owned = self.pool is None
+        pool = self.pool if self.pool is not None else WorkerPool(self.jobs)
+        cap = pool.workers
         by_index = {shard.index: shard for shard in shards}
         results: dict[int, dict] = {}
         failures: list[ShardFailure] = []
@@ -306,11 +356,9 @@ class Fleet:
         #: shards ready to run, as (shard_index, attempt)
         ready: deque[tuple[int, int]] = deque((shard.index, 0) for shard in shards)
         running: dict[Future, tuple[int, int, float]] = {}
-        executor = ProcessPoolExecutor(
-            max_workers=self.jobs, initializer=ignore_interrupts
-        )
 
         interrupted: list[int] = []
+        stopped = False
 
         def handle_signal(signum: int, _frame) -> None:
             signal.signal(signal.SIGINT, signal.default_int_handler)
@@ -326,9 +374,9 @@ class Fleet:
                 previous[signum] = signal.signal(signum, handle_signal)
 
         def submit_ready() -> None:
-            while ready and len(running) < self.jobs:
+            while ready and len(running) < cap:
                 shard_index, attempt = ready.popleft()
-                future = executor.submit(
+                future = pool.executor.submit(
                     run_shard_job, self._payload(by_index[shard_index], attempt)
                 )
                 running[future] = (
@@ -352,17 +400,11 @@ class Fleet:
                 ready.appendleft((shard_index, attempt))
             running.clear()
 
-        def rebuild_pool() -> None:
-            # Terminating the processes (not just shutting down) is
-            # what actually returns a hung shard's slot to the pool.
-            nonlocal executor
-            _shutdown_pool(executor)
-            executor = ProcessPoolExecutor(
-                max_workers=self.jobs, initializer=ignore_interrupts
-            )
-
         try:
             while (ready or running) and not interrupted:
+                if self._stop_requested():
+                    stopped = True
+                    break
                 submit_ready()
                 done, _ = wait(
                     set(running), timeout=_POLL_S, return_when=FIRST_COMPLETED
@@ -379,7 +421,10 @@ class Fleet:
                         # and resubmit innocent bystanders free of charge.
                         requeue_running()
                         reschedule(shard_index, attempt, repr(exc))
-                        rebuild_pool()
+                        # Terminating the processes (not just shutting
+                        # down) is what actually returns a dead or hung
+                        # shard's slot to the pool.
+                        pool.rebuild()
                         broken = True
                         break  # remaining `done` futures died with the pool
                     except Exception as exc:
@@ -388,6 +433,7 @@ class Fleet:
                         results[shard_index] = partial
                         if store is not None:
                             store.record(partial)
+                        self._notify(partial)
                 if broken:
                     continue
                 now = time.monotonic()
@@ -407,14 +453,26 @@ class Fleet:
                             f"shard {shard_index} exceeded "
                             f"{self.spec.shard_timeout_s}s deadline",
                         )
-                    rebuild_pool()
+                    pool.rebuild()
         finally:
             # Every exit path — completion, interruption, an exception
-            # in this loop — must leave zero worker processes behind;
-            # plain ``shutdown`` would leak any worker stuck in user
-            # code.  In-flight shards at interruption are simply
-            # dropped: unrecorded, they rerun on resume.
-            _shutdown_pool(executor)
+            # in this loop — must leave zero abandoned worker processes
+            # behind; plain ``shutdown`` would leak any worker stuck in
+            # user code.  In-flight shards at interruption/stop are
+            # simply dropped: unrecorded, they rerun on resume.  An
+            # owned pool dies with the run; a borrowed pool belongs to
+            # the caller and is only rebuilt (workers replaced, pool
+            # kept) when an early exit left shards in flight.
+            if owned:
+                pool.shutdown()
+            elif running:
+                pool.rebuild()
             for signum, handler in previous.items():
                 signal.signal(signum, handler)
-        return results, retries, failures, (interrupted[0] if interrupted else None)
+        return (
+            results,
+            retries,
+            failures,
+            (interrupted[0] if interrupted else None),
+            stopped,
+        )

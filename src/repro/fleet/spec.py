@@ -33,7 +33,8 @@ DEFAULT_SHARD_SIZE = 8
 #: aggregate schema changes in a result-affecting way: a checkpoint
 #: written by older code must not silently merge with shards produced
 #: by newer code.
-FINGERPRINT_VERSION = 1
+#: v2: aggregate schema gained switching counts and per-cell groups.
+FINGERPRINT_VERSION = 2
 
 _TRACE_KINDS = ("micro", "full")
 

@@ -1,0 +1,55 @@
+"""Small filesystem helpers shared by the CLI and the serve daemon.
+
+Both entry points write result artifacts that must never be observed
+half-written (atomic replace) and validate output paths *before* doing
+expensive work (probe without creating).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def probe_writable(path: str, flag: str) -> None:
+    """Fail fast on an unwritable output path *without creating it*.
+
+    Probing by opening in append mode would materialise an empty file;
+    if the run then never reaches its final write (failure, Ctrl-C),
+    that zero-byte artifact looks exactly like a truncated result.
+    """
+    if os.path.exists(path):
+        if os.path.isdir(path):
+            raise IsADirectoryError(f"{flag} path {path!r} is a directory")
+        if not os.access(path, os.W_OK):
+            raise PermissionError(f"{flag} path {path!r} is not writable")
+    else:
+        directory = os.path.dirname(os.path.abspath(path))
+        if not os.path.isdir(directory):
+            raise FileNotFoundError(
+                f"{flag} directory {directory!r} does not exist"
+            )
+        if not os.access(directory, os.W_OK):
+            raise PermissionError(f"{flag} directory {directory!r} is not writable")
+
+
+def write_file_atomic(path: str, text: str) -> None:
+    """Write via a sibling temp file and rename, so an interrupted run
+    never leaves ``path`` truncated or half-written."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".repro-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        # mkstemp creates 0600 files; give the final output the normal
+        # umask-derived permissions instead.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_path, 0o666 & ~umask)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

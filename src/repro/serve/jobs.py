@@ -1,0 +1,411 @@
+"""Job lifecycle for the ``repro serve`` daemon.
+
+A *job* is one fleet population to simulate: the canonical payload of a
+``POST /jobs`` body, a status, a per-job checkpoint journal, and — while
+the daemon lives — an in-memory event log streamed to SSE subscribers.
+
+Restart safety is the defining property.  Everything a restarted daemon
+needs is on disk in the state directory, written atomically or
+append-only:
+
+* ``<id>.job.json`` — the canonical payload plus the last *settled*
+  status (``queued``/``cancelled``/``failed``).  ``running`` is never
+  persisted: a daemon killed mid-job leaves the file saying ``queued``,
+  which is exactly what recovery should do with it.
+* ``<id>.ckpt`` — the fleet checkpoint journal
+  (:mod:`repro.fleet.checkpoint`), fsync'd per shard.
+* ``<id>.result.json`` — the terminal result document, byte-identical
+  to ``repro fleet --json-out`` for the same spec; written atomically,
+  its existence *is* the ``done`` status.
+
+On restart, :meth:`JobStore.recover` re-enqueues every non-settled job
+with ``resume`` semantics, so a SIGTERM'd daemon finishes its in-flight
+jobs byte-identically to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from typing import Optional
+
+from repro.errors import EvaluationError
+from repro.fleet import Fleet, FleetAggregate, WorkerPool
+from repro.ioutil import write_file_atomic
+from repro.serve.schemas import build_fleet_spec, normalize_job_payload
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: statuses that survive restarts as-is (everything else re-runs)
+SETTLED = (DONE, FAILED, CANCELLED)
+
+#: SSE event names that end a job's stream
+TERMINAL_EVENTS = ("result", "failed", "cancelled")
+
+#: per-job replay window: events older than this are summarised by a
+#: ``snapshot`` on reconnect instead of replayed one by one
+EVENT_WINDOW = 1024
+
+
+def merge_partials(partials: dict[int, dict]) -> FleetAggregate:
+    """Merge shard partials in shard-index order.
+
+    Index order is the one fixed order the batch driver uses, so a
+    prefix aggregate streamed after shard ``k`` lands is byte-identical
+    to what a batch run over exactly that shard subset would report —
+    regardless of the (nondeterministic) order shards completed in.
+    """
+    aggregate = FleetAggregate()
+    for index in sorted(partials):
+        aggregate.merge(FleetAggregate.from_dict(partials[index]["aggregate"]))
+    return aggregate
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class Job:
+    """One submitted fleet job and its live, lock-guarded state."""
+
+    def __init__(self, job_id: str, payload: dict, status: str = QUEUED):
+        self.id = job_id
+        self.payload = payload
+        self.status = status
+        self.error: Optional[str] = None
+        self.ok: Optional[bool] = None
+        self.result_text: Optional[str] = None
+        self.cancel_requested = False
+        self.stop = threading.Event()
+        self.resumed_shards = 0
+
+        self.shards_total = _ceil_div(payload["sessions"], payload["shard_size"])
+        self.shards_done = 0
+        self.sessions_completed = 0
+        self.partials: dict[int, dict] = {}
+
+        self.cond = threading.Condition()
+        self.seq = 0
+        #: retained (seq, name, data) events for replay; older ones are
+        #: covered by the snapshot a late subscriber receives first
+        self.events: deque[tuple[int, str, str]] = deque(maxlen=EVENT_WINDOW)
+
+    # -- event log -----------------------------------------------------
+    def publish(self, name: str, data: str) -> int:
+        with self.cond:
+            self.seq += 1
+            self.events.append((self.seq, name, data))
+            self.cond.notify_all()
+            return self.seq
+
+    def progress_data(self, shard: Optional[dict] = None) -> str:
+        """The JSON body of an ``update``/``snapshot`` event.
+
+        Callers must hold no expectation of atomicity beyond what the
+        job condition lock gives them; the runner publishes under it.
+        """
+        body = {
+            "shards_done": self.shards_done,
+            "shards_total": self.shards_total,
+            "sessions_total": self.payload["sessions"],
+            "sessions_completed": self.sessions_completed,
+            "aggregate": merge_partials(self.partials).to_dict(),
+        }
+        if shard is not None:
+            body["shard"] = shard["shard"]
+            body["shard_sessions"] = shard["sessions"]
+        return json.dumps(body, sort_keys=True)
+
+    # -- API projections ----------------------------------------------
+    def to_summary(self) -> dict:
+        with self.cond:
+            return {
+                "id": self.id,
+                "status": self.status,
+                "sessions": self.payload["sessions"],
+                "shards_done": self.shards_done,
+                "shards_total": self.shards_total,
+                "ok": self.ok,
+            }
+
+    def to_detail(self) -> dict:
+        with self.cond:
+            detail = {
+                "id": self.id,
+                "status": self.status,
+                "spec": dict(self.payload),
+                "progress": {
+                    "shards_done": self.shards_done,
+                    "shards_total": self.shards_total,
+                    "sessions_completed": self.sessions_completed,
+                    "sessions_total": self.payload["sessions"],
+                    "resumed_shards": self.resumed_shards,
+                },
+                "ok": self.ok,
+                "error": self.error,
+                "cancel_requested": self.cancel_requested,
+                "links": {
+                    "events": f"/jobs/{self.id}/events",
+                    "report": f"/jobs/{self.id}/report",
+                },
+            }
+            return detail
+
+
+class JobStore:
+    """All jobs the daemon knows, backed by the state directory."""
+
+    def __init__(self, state_dir: str):
+        self.state_dir = state_dir
+        self._lock = threading.Condition()
+        self._jobs: dict[str, Job] = {}
+        self._queue: deque[str] = deque()
+        self.closed = False
+
+    # -- paths ---------------------------------------------------------
+    def job_path(self, job_id: str) -> str:
+        return os.path.join(self.state_dir, f"{job_id}.job.json")
+
+    def checkpoint_path(self, job_id: str) -> str:
+        return os.path.join(self.state_dir, f"{job_id}.ckpt")
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.state_dir, f"{job_id}.result.json")
+
+    def _persist(self, job: Job) -> None:
+        record = {"id": job.id, "status": job.status, "spec": job.payload}
+        if job.error is not None:
+            record["error"] = job.error
+        write_file_atomic(
+            self.job_path(job.id), json.dumps(record, sort_keys=True) + "\n"
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def submit(self, payload: object) -> Job:
+        """Validate, persist, and enqueue one job; returns it."""
+        canonical = normalize_job_payload(payload)
+        with self._lock:
+            if self.closed:
+                raise EvaluationError("job store is shut down")
+            number = 1 + max(
+                (int(job_id.split("-")[1]) for job_id in self._jobs), default=0
+            )
+            job = Job(f"job-{number:04d}", canonical)
+            self._jobs[job.id] = job
+            self._persist(job)
+            self._queue.append(job.id)
+            self._lock.notify_all()
+            return job
+
+    def recover(self) -> list[Job]:
+        """Load the state directory written by a previous daemon life.
+
+        Jobs with a result document are ``done``; settled statuses
+        (``cancelled``/``failed``) load as-is; everything else —
+        including jobs that were mid-run when the daemon died — goes
+        back on the queue, to be resumed from its checkpoint journal.
+        """
+        recovered: list[Job] = []
+        for name in sorted(os.listdir(self.state_dir)):
+            if not name.endswith(".job.json"):
+                continue
+            with open(os.path.join(self.state_dir, name), encoding="utf-8") as handle:
+                record = json.load(handle)
+            job = Job(record["id"], record["spec"], status=record["status"])
+            job.error = record.get("error")
+            result_path = self.result_path(job.id)
+            if os.path.exists(result_path):
+                with open(result_path, encoding="utf-8") as handle:
+                    job.result_text = handle.read()
+                job.status = DONE
+                result = json.loads(job.result_text)
+                job.shards_done = job.shards_total
+                job.sessions_completed = result["run"]["sessions_completed"]
+                job.ok = not result["run"]["failed_shards"]
+            elif job.status not in SETTLED:
+                job.status = QUEUED
+            recovered.append(job)
+        with self._lock:
+            for job in recovered:
+                self._jobs[job.id] = job
+                if job.status == QUEUED:
+                    self._queue.append(job.id)
+            self._lock.notify_all()
+        return recovered
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> list[Job]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in sorted(self._jobs)]
+
+    def claim_next(self, timeout: float = 0.5) -> Optional[Job]:
+        """Pop the oldest queued job and mark it running (runner only)."""
+        with self._lock:
+            if not self._queue:
+                self._lock.wait(timeout)
+            if self.closed or not self._queue:
+                return None
+            job = self._jobs[self._queue.popleft()]
+        with job.cond:
+            job.status = RUNNING
+        return job
+
+    def requeue(self, job: Job) -> None:
+        """Put a drained (daemon-shutdown) job back in queued state.
+
+        Its persisted record already says ``queued`` — running is never
+        written to disk — so only the in-memory state moves.
+        """
+        with job.cond:
+            job.status = QUEUED
+            job.stop = threading.Event()
+        with self._lock:
+            self._queue.appendleft(job.id)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job outright or request stop of a running one."""
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        with self._lock:
+            with job.cond:
+                if job.status in SETTLED:
+                    raise EvaluationError(
+                        f"job {job_id} is already {job.status}; nothing to cancel"
+                    )
+                job.cancel_requested = True
+                if job.status == QUEUED:
+                    if job_id in self._queue:
+                        self._queue.remove(job_id)
+                    job.status = CANCELLED
+                    self._persist(job)
+                else:
+                    job.stop.set()
+        if job.status == CANCELLED:
+            job.publish("cancelled", json.dumps({"id": job.id, "status": CANCELLED}))
+        return job
+
+    def settle(self, job: Job, status: str, *, error: Optional[str] = None) -> None:
+        """Move a job to a terminal status and persist it."""
+        with job.cond:
+            job.status = status
+            job.error = error
+        with self._lock:
+            self._persist(job)
+
+    def close(self) -> None:
+        with self._lock:
+            self.closed = True
+            self._lock.notify_all()
+        for job in self.list_jobs():
+            with job.cond:
+                job.cond.notify_all()
+
+
+class JobRunner(threading.Thread):
+    """The single job-execution thread: queue in, fleet runs out.
+
+    Jobs run one at a time on the shared :class:`WorkerPool`, so "the
+    daemon's capacity" is one knob (``--jobs``) and warm worker
+    processes carry over from job to job.  Parallelism *within* a job
+    is the fleet driver's shard fan-out, exactly as in the batch CLI.
+    """
+
+    def __init__(self, store: JobStore, pool: WorkerPool, inject_crash: Optional[dict] = None):
+        super().__init__(name="repro-serve-runner", daemon=True)
+        self.store = store
+        self.pool = pool
+        self.inject_crash = inject_crash
+        self._draining = threading.Event()
+        self.current: Optional[Job] = None
+
+    def drain(self) -> None:
+        """Stop after the current shard: running job goes back to
+        queued (its checkpoint keeps its progress), queue stays put."""
+        self._draining.set()
+        job = self.current
+        if job is not None:
+            job.stop.set()
+
+    def run(self) -> None:
+        while not self._draining.is_set() and not self.store.closed:
+            job = self.store.claim_next(timeout=0.2)
+            if job is None:
+                continue
+            self.current = job
+            try:
+                self._execute(job)
+            finally:
+                self.current = None
+
+    # -----------------------------------------------------------------
+    def _execute(self, job: Job) -> None:
+        store = self.store
+        if self._draining.is_set():
+            # Drain landed between claim and start: nothing ran yet.
+            store.requeue(job)
+            return
+
+        def on_shard(partial: dict, accepted: int, total: int) -> None:
+            with job.cond:
+                job.partials[partial["shard"]] = partial
+                job.shards_done = accepted
+                job.shards_total = total
+                job.sessions_completed += partial["sessions"]
+                data = job.progress_data(shard=partial)
+            job.publish("update", data)
+
+        try:
+            spec = build_fleet_spec(job.payload, inject_crash=self.inject_crash)
+            fleet = Fleet(
+                spec,
+                jobs=self.pool.workers,
+                checkpoint=store.checkpoint_path(job.id),
+                # Resume semantics always: a fresh job has no journal
+                # (degrades to a fresh checkpoint), a recovered one
+                # reloads its completed shards and reruns the rest.
+                resume=True,
+                pool=self.pool,
+                on_shard=on_shard,
+                stop=job.stop,
+            )
+            result = fleet.run()
+        except Exception as exc:  # noqa: BLE001 - one job must not kill the daemon
+            store.settle(job, FAILED, error=f"{type(exc).__name__}: {exc}")
+            job.publish("failed", json.dumps({"id": job.id, "error": job.error}))
+            return
+
+        with job.cond:
+            job.resumed_shards = result.resumed_shards
+
+        if result.stopped:
+            if job.cancel_requested:
+                store.settle(job, CANCELLED)
+                job.publish(
+                    "cancelled",
+                    json.dumps(
+                        {"id": job.id, "status": CANCELLED,
+                         "shards_done": job.shards_done}
+                    ),
+                )
+            else:
+                # Daemon drain: the job is not over, the daemon is.
+                store.requeue(job)
+            return
+
+        result_text = result.to_json()
+        write_file_atomic(store.result_path(job.id), result_text)
+        with job.cond:
+            job.result_text = result_text
+            job.ok = not result.failures
+        store.settle(job, DONE)
+        job.publish("result", result_text)

@@ -1,0 +1,113 @@
+"""Server-Sent Events framing (RFC-free, WHATWG EventSource spec).
+
+The daemon streams job progress as SSE because it needs exactly what
+SSE gives for free over plain HTTP: ordered events with ids (so a
+client can reconnect with ``Last-Event-ID``), a server-suggested
+``retry`` interval, and text payloads that may span multiple lines —
+all without any dependency beyond a socket.
+
+:func:`encode_event` implements the wire framing; :func:`iter_events`
+is the matching parser (used by the test suite and the smoke script as
+a minimal client).  Round-tripping preserves payload text exactly,
+trailing newline included — which is what lets the terminal ``result``
+event carry the byte-identical ``repro fleet --json-out`` document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class ServerEvent:
+    """One decoded SSE event."""
+
+    data: str
+    event: str = "message"
+    id: Optional[str] = None
+    retry: Optional[int] = None
+
+
+def encode_event(
+    data: str,
+    event: Optional[str] = None,
+    id: Optional[str | int] = None,
+    retry: Optional[int] = None,
+) -> bytes:
+    """Frame one event for the wire.
+
+    ``data`` may contain newlines; each line becomes its own ``data:``
+    field, and a trailing newline is preserved through the spec's
+    reconstruction rule (the client joins data lines with ``\\n``, so a
+    final empty ``data:`` line restores the trailing newline exactly).
+    """
+    for field_name, value in (("event", event), ("id", str(id) if id is not None else None)):
+        if value is not None and ("\n" in value or "\r" in value):
+            raise EvaluationError(f"SSE {field_name} field must be single-line: {value!r}")
+    lines: list[str] = []
+    if retry is not None:
+        lines.append(f"retry: {int(retry)}")
+    if id is not None:
+        lines.append(f"id: {id}")
+    if event is not None:
+        lines.append(f"event: {event}")
+    for data_line in data.split("\n"):
+        lines.append(f"data: {data_line}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def _field(line: str) -> tuple[str, str]:
+    """Split one SSE line into (field, value) per the spec: the value
+    is everything after the first ``:``, minus one leading space."""
+    name, _, value = line.partition(":")
+    if value.startswith(" "):
+        value = value[1:]
+    return name, value
+
+
+def iter_events(lines: Iterable[str]) -> Iterator[ServerEvent]:
+    """Parse a decoded SSE text stream into events.
+
+    ``lines`` yields text lines *without* their terminators (e.g.
+    ``io.TextIOWrapper`` line iteration with newline stripping done by
+    the caller).  Per the spec: blank line dispatches the pending
+    event, ``data`` buffers accumulate joined by newline, the last
+    newline of the buffer is stripped, comment lines (leading ``:``)
+    are ignored, and events with an empty data buffer are dropped.
+    """
+    data_lines: list[str] = []
+    event_name: Optional[str] = None
+    event_id: Optional[str] = None
+    retry: Optional[int] = None
+    for raw in lines:
+        line = raw.rstrip("\r\n") if raw.endswith(("\r", "\n")) else raw
+        if line == "":
+            if data_lines:
+                yield ServerEvent(
+                    data="\n".join(data_lines),
+                    event=event_name or "message",
+                    id=event_id,
+                    retry=retry,
+                )
+            data_lines = []
+            event_name = None
+            retry = None
+            continue
+        if line.startswith(":"):
+            continue  # comment / keep-alive
+        name, value = _field(line)
+        if name == "data":
+            data_lines.append(value)
+        elif name == "event":
+            event_name = value
+        elif name == "id":
+            event_id = value
+        elif name == "retry":
+            try:
+                retry = int(value)
+            except ValueError:
+                pass  # spec: ignore non-integer retry values
+        # unknown fields are ignored (spec)

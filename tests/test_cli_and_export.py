@@ -266,3 +266,98 @@ class TestTaskSpans:
             e["args"]["name"] for e in data["traceEvents"] if e["ph"] == "M"
         }
         assert any(name.startswith("thread:") for name in track_names)
+
+
+class TestCheckpointInspect:
+    def make_journal(self, tmp_path, capsys):
+        journal = str(tmp_path / "fleet.ckpt")
+        assert main([
+            "fleet", "--sessions", "4", "--shard-size", "2", "--seed", "3",
+            "--mix", "todo:greenweb,cnet:perf", "--checkpoint", journal,
+            "--progress", "never",
+        ]) == 0
+        capsys.readouterr()
+        return journal
+
+    def test_inspect_intact_journal(self, tmp_path, capsys):
+        journal = self.make_journal(tmp_path, capsys)
+        assert main(["checkpoint", "inspect", journal]) == 0
+        out = capsys.readouterr().out
+        assert "format:      v1" in out
+        assert "completed:   2 shard(s), 4 sessions" in out
+        assert "shards:      0, 1" in out
+        assert "tail:        intact" in out
+        assert "seed:         3" in out
+
+    def test_inspect_torn_tail(self, tmp_path, capsys):
+        journal = self.make_journal(tmp_path, capsys)
+        with open(journal, "ab") as handle:
+            handle.write(b'{"kind": "shard", "shard": 9, "sess')  # torn
+        assert main(["checkpoint", "inspect", journal]) == 0
+        out = capsys.readouterr().out
+        assert "TORN" in out
+        assert "completed:   2 shard(s)" in out  # damage hides nothing intact
+
+    def test_inspect_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["checkpoint", "inspect", str(tmp_path / "nope.ckpt")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_inspect_non_checkpoint_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "notes.txt"
+        bogus.write_text("just some text\n")
+        assert main(["checkpoint", "inspect", str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFleetProgress:
+    FLEET = ["fleet", "--sessions", "4", "--shard-size", "2",
+             "--mix", "todo:greenweb,cnet:perf"]
+
+    def test_progress_always_draws_heartbeat(self, capsys):
+        assert main(self.FLEET + ["--progress", "always"]) == 0
+        err = capsys.readouterr().err
+        assert "shards 2/2" in err
+        assert "sessions 4/4" in err
+        assert "eta" in err
+
+    def test_progress_never_is_silent(self, capsys):
+        assert main(self.FLEET + ["--progress", "never"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_progress_auto_without_tty_is_silent(self, capsys):
+        # pytest's captured stderr is not a TTY, so auto must stay quiet.
+        assert main(self.FLEET) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_progress_line_clears_before_summary(self, capsys):
+        assert main(self.FLEET + ["--progress", "always"]) == 0
+        err = capsys.readouterr().err
+        # The heartbeat ends with a clearing carriage return, so the
+        # final stderr write leaves the cursor on a blank line.
+        assert err.endswith("\r")
+
+
+class TestServeStartup:
+    def test_port_in_use_exits_2_with_one_line_error(self, tmp_path, capsys):
+        import socket
+
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        try:
+            code = main([
+                "serve", "--port", str(port),
+                "--state-dir", str(tmp_path / "state"),
+            ])
+        finally:
+            placeholder.close()
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot bind")
+        assert "Traceback" not in err
+
+    def test_bad_state_dir_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        assert main(["serve", "--port", "0", "--state-dir", str(blocker)]) == 2
+        assert capsys.readouterr().err.startswith("error:")

@@ -109,7 +109,10 @@ class TestApiDocExamples:
         commands = set()
         for action in parser._subparsers._group_actions:
             commands |= set(action.choices)
-        assert commands == {"apps", "run", "analyze", "figures", "fleet", "autogreen"}
+        assert commands == {
+            "apps", "run", "analyze", "figures", "fleet", "serve",
+            "checkpoint", "autogreen",
+        }
 
     def test_public_init_exports(self):
         import repro

@@ -1,0 +1,481 @@
+"""Tests for the serve daemon: SSE framing, job store, HTTP API,
+cancellation, and restart/resume byte-parity with the batch CLI."""
+
+import json
+import os
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.fleet import Fleet
+from repro.serve import (
+    JobStore,
+    ServeApp,
+    build_fleet_spec,
+    encode_event,
+    iter_events,
+    merge_partials,
+    normalize_job_payload,
+)
+
+#: Small-but-real population: 4 shards, two governors, ~15 ms/session.
+FAST_JOB = {"sessions": 8, "shard_size": 2, "seed": 11,
+            "mix": "todo:greenweb,cnet:perf"}
+
+
+def batch_json(payload: dict) -> str:
+    """What `repro fleet --json-out` writes for this payload."""
+    spec = build_fleet_spec(normalize_job_payload(payload))
+    return Fleet(spec).run().to_json()
+
+
+# ----------------------------------------------------------------------
+# SSE framing
+# ----------------------------------------------------------------------
+class TestSSE:
+    def roundtrip(self, data, **kwargs):
+        encoded = encode_event(data, **kwargs).decode("utf-8")
+        events = list(iter_events(encoded.split("\n")))
+        assert len(events) == 1
+        return events[0]
+
+    def test_roundtrip_simple(self):
+        event = self.roundtrip("hello", event="update", id=7, retry=2000)
+        assert event.data == "hello"
+        assert event.event == "update"
+        assert event.id == "7"
+        assert event.retry == 2000
+
+    def test_roundtrip_multiline(self):
+        event = self.roundtrip("line one\nline two")
+        assert event.data == "line one\nline two"
+
+    def test_roundtrip_preserves_trailing_newline(self):
+        # The byte-identity guarantee for the terminal result event
+        # hinges on this: JSON documents end with "\n".
+        text = json.dumps({"a": 1}, indent=2) + "\n"
+        assert self.roundtrip(text, event="result").data == text
+
+    def test_encode_rejects_multiline_fields(self):
+        with pytest.raises(EvaluationError):
+            encode_event("x", event="a\nb")
+        with pytest.raises(EvaluationError):
+            encode_event("x", id="1\n2")
+
+    def test_parser_skips_comments_and_blank_events(self):
+        stream = [": keep-alive", "", "event: ping", "", "data: real", ""]
+        events = list(iter_events(stream))
+        assert [e.data for e in events] == ["real"]
+
+    def test_parser_ignores_non_integer_retry(self):
+        (event,) = iter_events(["retry: soon", "data: x", ""])
+        assert event.retry is None
+
+    def test_event_ids_are_ordered(self):
+        wire = b"".join(
+            encode_event(f"n{i}", id=i) for i in range(1, 4)
+        ).decode("utf-8")
+        ids = [e.id for e in iter_events(wire.split("\n"))]
+        assert ids == ["1", "2", "3"]
+
+
+# ----------------------------------------------------------------------
+# Payload schema
+# ----------------------------------------------------------------------
+class TestNormalizePayload:
+    def test_defaults_match_cli(self):
+        canonical = normalize_job_payload({})
+        assert canonical["sessions"] == 100
+        assert canonical["seed"] == 0
+        assert canonical["shard_size"] == 8
+        assert canonical["trace_level"] == "gated"
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(EvaluationError, match="unknown job field"):
+            normalize_job_payload({"sesions": 10})
+
+    def test_rejects_non_object(self):
+        with pytest.raises(EvaluationError, match="JSON object"):
+            normalize_job_payload([1, 2])
+
+    def test_rejects_bool_as_int(self):
+        with pytest.raises(EvaluationError, match="integer"):
+            normalize_job_payload({"sessions": True})
+
+    def test_mix_list_joined(self):
+        canonical = normalize_job_payload({"mix": ["todo:greenweb", "cnet:perf"]})
+        assert canonical["mix"] == "todo:greenweb,cnet:perf"
+
+    def test_bad_mix_fails_at_submit(self):
+        with pytest.raises(EvaluationError):
+            normalize_job_payload({"mix": "no-such-app"})
+
+    def test_bad_trace_level(self):
+        with pytest.raises(EvaluationError, match="trace_level"):
+            normalize_job_payload({"trace_level": "loud"})
+
+    def test_spec_roundtrip_matches_cli_spec(self):
+        canonical = normalize_job_payload(dict(FAST_JOB))
+        spec = build_fleet_spec(canonical)
+        assert spec.sessions == 8
+        assert spec.fingerprint() == build_fleet_spec(canonical).fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Fold merging
+# ----------------------------------------------------------------------
+class TestMergePartials:
+    def collect_partials(self):
+        partials = {}
+        spec = build_fleet_spec(normalize_job_payload(dict(FAST_JOB)))
+        Fleet(spec, on_shard=lambda p, done, total: partials.__setitem__(
+            p["shard"], p)).run()
+        return partials
+
+    def test_merge_order_independent_of_completion_order(self):
+        partials = self.collect_partials()
+        assert len(partials) == 4
+        forward = {i: partials[i] for i in sorted(partials)}
+        shuffled = {i: partials[i] for i in reversed(sorted(partials))}
+        assert (
+            merge_partials(forward).to_dict()
+            == merge_partials(shuffled).to_dict()
+        )
+
+    def test_full_merge_equals_batch_aggregate(self):
+        partials = self.collect_partials()
+        batch = json.loads(batch_json(dict(FAST_JOB)))
+        assert merge_partials(partials).to_dict() == batch["aggregate"]
+
+    def test_prefix_merge_is_a_prefix_aggregate(self):
+        partials = self.collect_partials()
+        prefix = {i: partials[i] for i in (0, 1)}
+        merged = merge_partials(prefix)
+        assert merged.sessions == sum(p["sessions"] for p in prefix.values())
+
+
+# ----------------------------------------------------------------------
+# Job store (no HTTP)
+# ----------------------------------------------------------------------
+class TestJobStore:
+    def test_submit_persists_and_numbers(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        first = store.submit(dict(FAST_JOB))
+        second = store.submit(dict(FAST_JOB))
+        assert (first.id, second.id) == ("job-0001", "job-0002")
+        record = json.loads((tmp_path / "job-0001.job.json").read_text())
+        assert record["status"] == "queued"
+        assert record["spec"]["sessions"] == 8
+
+    def test_submit_rejects_bad_payload(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        with pytest.raises(EvaluationError):
+            store.submit({"sessions": "many"})
+        assert store.list_jobs() == []
+
+    def test_cancel_queued_is_immediate(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = store.submit(dict(FAST_JOB))
+        store.cancel(job.id)
+        assert job.status == "cancelled"
+        record = json.loads((tmp_path / f"{job.id}.job.json").read_text())
+        assert record["status"] == "cancelled"
+        # Terminal event published so SSE subscribers end their streams.
+        assert [name for _, name, _ in job.events] == ["cancelled"]
+
+    def test_cancel_settled_refuses(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = store.submit(dict(FAST_JOB))
+        store.cancel(job.id)
+        with pytest.raises(EvaluationError, match="already cancelled"):
+            store.cancel(job.id)
+
+    def test_cancel_running_requests_stop(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = store.submit(dict(FAST_JOB))
+        claimed = store.claim_next()
+        assert claimed is job and job.status == "running"
+        store.cancel(job.id)
+        assert job.stop.is_set() and job.cancel_requested
+        assert job.status == "running"  # the runner settles it, not cancel()
+
+    def test_recover_requeues_unsettled(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = store.submit(dict(FAST_JOB))
+        # A killed daemon leaves the persisted record saying "queued"
+        # even if the job was mid-run (running is never persisted).
+        fresh = JobStore(str(tmp_path))
+        recovered = fresh.recover()
+        assert [j.id for j in recovered] == [job.id]
+        assert fresh.claim_next().id == job.id
+
+    def test_recover_result_file_wins(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = store.submit(dict(FAST_JOB))
+        result_text = batch_json(dict(FAST_JOB))
+        (tmp_path / f"{job.id}.result.json").write_text(result_text)
+        fresh = JobStore(str(tmp_path))
+        (recovered,) = fresh.recover()
+        assert recovered.status == "done"
+        assert recovered.ok is True
+        assert recovered.result_text == result_text
+        assert fresh.claim_next() is None
+
+    def test_recover_keeps_settled_status(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = store.submit(dict(FAST_JOB))
+        store.cancel(job.id)
+        fresh = JobStore(str(tmp_path))
+        (recovered,) = fresh.recover()
+        assert recovered.status == "cancelled"
+        assert fresh.claim_next() is None
+
+
+# ----------------------------------------------------------------------
+# HTTP end to end
+# ----------------------------------------------------------------------
+def http_json(method: str, url: str, body: dict | None = None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, json.load(resp)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+def sse_until_terminal(url: str, headers: dict | None = None, timeout=60.0):
+    req = urllib.request.Request(url, headers=headers or {})
+    events = []
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        lines = (raw.decode("utf-8").rstrip("\n") for raw in resp)
+        for event in iter_events(lines):
+            events.append(event)
+            if event.event in ("result", "failed", "cancelled"):
+                break
+    return events
+
+
+def wait_for(predicate, timeout=30.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.fixture
+def app(tmp_path):
+    served = ServeApp(
+        host="127.0.0.1", port=0, state_dir=str(tmp_path / "state"),
+        workers=2, quiet=True,
+    ).start()
+    yield served
+    served.stop()
+
+
+class TestServeHTTP:
+    def test_job_lifecycle_and_byte_identity(self, app):
+        status, detail = http_json("POST", app.url + "/jobs", FAST_JOB)
+        assert status == 201
+        job_id = detail["id"]
+        assert detail["status"] in ("queued", "running")
+        assert detail["links"]["events"] == f"/jobs/{job_id}/events"
+
+        events = sse_until_terminal(app.url + f"/jobs/{job_id}/events")
+        names = [event.event for event in events]
+        assert names[0] == "snapshot"
+        assert names[-1] == "result"
+        assert names.count("update") == 4  # one per shard
+
+        # The contract of the whole subsystem: terminal result bytes
+        # equal `repro fleet --json-out` for the same spec and seed.
+        assert events[-1].data == batch_json(FAST_JOB)
+
+        # Updates carry monotonic progress with a prefix aggregate.
+        updates = [json.loads(e.data) for e in events if e.event == "update"]
+        assert [u["shards_done"] for u in updates] == [1, 2, 3, 4]
+        assert updates[-1]["sessions_completed"] == 8
+
+        status, listing = http_json("GET", app.url + "/jobs")
+        assert status == 200
+        (summary,) = listing["jobs"]
+        assert summary["status"] == "done" and summary["ok"] is True
+
+        status, health = http_json("GET", app.url + "/healthz")
+        assert status == 200 and health["jobs"] == {"done": 1}
+
+        result_path = app.store.result_path(job_id)
+        assert open(result_path).read() == batch_json(FAST_JOB)
+
+    def test_sse_replay_after_completion(self, app):
+        _, detail = http_json("POST", app.url + "/jobs", FAST_JOB)
+        job_id = detail["id"]
+        first = sse_until_terminal(app.url + f"/jobs/{job_id}/events")
+
+        # Reconnect with a cursor: only events after it are replayed.
+        last_update_id = first[-2].id
+        replayed = sse_until_terminal(
+            app.url + f"/jobs/{job_id}/events",
+            headers={"Last-Event-ID": last_update_id},
+        )
+        assert [e.event for e in replayed] == ["result"]
+        assert replayed[0].data == first[-1].data
+
+    def test_report_and_index_render(self, app):
+        _, detail = http_json("POST", app.url + "/jobs", FAST_JOB)
+        job_id = detail["id"]
+        sse_until_terminal(app.url + f"/jobs/{job_id}/events")
+        with urllib.request.urlopen(app.url + f"/jobs/{job_id}/report") as resp:
+            page = resp.read().decode("utf-8")
+        assert resp.status == 200
+        assert f"fleet {job_id}" in page
+        assert "todo" in page and "cnet" in page  # per-cell table rendered
+        with urllib.request.urlopen(app.url + "/") as resp:
+            index = resp.read().decode("utf-8")
+        assert job_id in index
+
+    def test_validation_and_routing_errors(self, app):
+        status, body = http_json("POST", app.url + "/jobs", {"nope": 1})
+        assert status == 400 and "unknown job field" in body["error"]
+        status, _ = http_json("GET", app.url + "/jobs/job-9999")
+        assert status == 404
+        status, _ = http_json("DELETE", app.url + "/jobs/job-9999")
+        assert status == 404
+        status, _ = http_json("GET", app.url + "/nowhere")
+        assert status == 404
+
+    def test_cancel_done_job_conflicts(self, app):
+        _, detail = http_json("POST", app.url + "/jobs", FAST_JOB)
+        sse_until_terminal(app.url + f"/jobs/{detail['id']}/events")
+        status, body = http_json("DELETE", app.url + f"/jobs/{detail['id']}")
+        assert status == 409 and "already done" in body["error"]
+
+
+class TestCancellation:
+    def test_cancel_mid_run_settles_cancelled(self, tmp_path):
+        # Shard 0 completes; shards 1..3 hang far past the test horizon,
+        # so the job can only end through the cancellation path.
+        app = ServeApp(
+            host="127.0.0.1", port=0, state_dir=str(tmp_path / "state"),
+            workers=2, quiet=True,
+            inject_crash={"shard": [1, 2, 3], "attempts": 99,
+                          "mode": "sleep", "sleep_s": 300.0},
+        ).start()
+        try:
+            _, detail = http_json("POST", app.url + "/jobs", FAST_JOB)
+            job_id = detail["id"]
+            job = app.store.get(job_id)
+            assert wait_for(lambda: job.shards_done >= 1)
+
+            status, body = http_json("DELETE", app.url + f"/jobs/{job_id}")
+            assert status == 200 and body["cancelling"]
+            assert wait_for(lambda: job.status == "cancelled")
+
+            _, final = http_json("GET", app.url + f"/jobs/{job_id}")
+            assert final["status"] == "cancelled"
+            assert final["progress"]["shards_done"] >= 1
+            # Terminal SSE event tells streaming clients it is over.
+            events = sse_until_terminal(app.url + f"/jobs/{job_id}/events")
+            assert events[-1].event == "cancelled"
+        finally:
+            app.stop()
+
+
+class TestRestartResume:
+    def test_restart_resumes_byte_identical(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        # Life 1: shard 3 hangs, so the run can never finish here.
+        first_life = ServeApp(
+            host="127.0.0.1", port=0, state_dir=state_dir, workers=2,
+            quiet=True,
+            inject_crash={"shard": 3, "attempts": 99,
+                          "mode": "sleep", "sleep_s": 300.0},
+        ).start()
+        _, detail = http_json("POST", first_life.url + "/jobs", FAST_JOB)
+        job_id = detail["id"]
+        job = first_life.store.get(job_id)
+        assert wait_for(lambda: job.shards_done >= 2)
+        # SIGTERM path: drain the runner, requeue the in-flight job.
+        first_life.stop()
+        record = json.loads(
+            open(os.path.join(state_dir, f"{job_id}.job.json")).read()
+        )
+        assert record["status"] == "queued"
+        assert os.path.exists(os.path.join(state_dir, f"{job_id}.ckpt"))
+
+        # Life 2: same state dir, no fault injection.  Recovery must
+        # resume from the journal and finish byte-identically.
+        second_life = ServeApp(
+            host="127.0.0.1", port=0, state_dir=state_dir, workers=2,
+            quiet=True,
+        ).start()
+        try:
+            events = sse_until_terminal(
+                second_life.url + f"/jobs/{job_id}/events"
+            )
+            assert events[-1].event == "result"
+            assert events[-1].data == batch_json(FAST_JOB)
+            resumed = second_life.store.get(job_id)
+            assert resumed.resumed_shards >= 2
+        finally:
+            second_life.stop()
+
+
+class TestStartupErrors:
+    def test_port_in_use_is_one_line_error(self, tmp_path):
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        try:
+            with pytest.raises(EvaluationError, match="cannot bind"):
+                ServeApp(host="127.0.0.1", port=port,
+                         state_dir=str(tmp_path), workers=1)
+        finally:
+            placeholder.close()
+
+    def test_unwritable_state_dir(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        with pytest.raises(EvaluationError, match="state dir"):
+            ServeApp(host="127.0.0.1", port=0, state_dir=str(blocker),
+                     workers=1)
+
+
+# ----------------------------------------------------------------------
+# Driver hooks the daemon relies on (on_shard / stop / borrowed pool)
+# ----------------------------------------------------------------------
+class TestDriverHooks:
+    def test_on_shard_reports_counts(self):
+        spec = build_fleet_spec(normalize_job_payload(dict(FAST_JOB)))
+        seen = []
+        Fleet(spec, on_shard=lambda p, done, total: seen.append((done, total))).run()
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_stop_event_ends_run_with_stopped_flag(self):
+        spec = build_fleet_spec(normalize_job_payload(dict(FAST_JOB)))
+        stop = threading.Event()
+        stop.set()
+        result = Fleet(spec, stop=stop).run()
+        assert result.stopped and not result.ok
+        assert result.sessions_completed == 0
+
+    def test_borrowed_pool_survives_runs(self):
+        from repro.fleet import WorkerPool
+
+        spec = build_fleet_spec(normalize_job_payload(dict(FAST_JOB)))
+        pool = WorkerPool(2)
+        try:
+            first = Fleet(spec, jobs=2, pool=pool).run()
+            executor = pool.executor
+            second = Fleet(spec, jobs=2, pool=pool).run()
+            assert pool.executor is executor  # clean runs never rebuild
+            assert first.to_json() == second.to_json()
+        finally:
+            pool.shutdown()
