@@ -1,19 +1,22 @@
 #!/usr/bin/env python
-"""CI smoke: the serve daemon end to end, including restart/resume.
+"""CI smoke: the serve daemon end to end — concurrent jobs, metrics,
+and restart/resume.
 
 Orchestration (all through the real CLI, in subprocesses):
 
-1. Start ``repro serve`` and ``POST /jobs`` the reference spec; read the
-   SSE stream to its terminal ``result`` event.
-2. Run ``repro fleet --json-out`` for the same spec; the SSE result and
-   the batch JSON must be byte-identical.
+1. Start ``repro serve --max-concurrent-jobs 2`` and ``POST /jobs`` two
+   overlapping jobs (different seeds); read both SSE streams to their
+   terminal ``result`` events.
+2. Run ``repro fleet --json-out`` for each spec; each SSE result must
+   be byte-identical to its batch JSON.  Scrape ``GET /metrics`` once
+   and assert the counters reflect both jobs.
 3. Restart the daemon with the test-only ``REPRO_FLEET_INJECT_CRASH``
-   hook hanging the last shard, submit a second job, wait for two
-   shards to land, and SIGTERM the daemon mid-job.  It must exit
-   143 (128+SIGTERM) after draining.
+   hook hanging the last shard, submit both jobs again, wait for two
+   shards to land on each, and SIGTERM the daemon with both mid-flight.
+   It must exit 143 (128+SIGTERM) after draining.
 4. Start a third daemon life on the same state dir *without* the hook:
-   it must resume the interrupted job from its checkpoint journal and
-   finish it — byte-identical to the batch JSON again.
+   it must resume both interrupted jobs from their checkpoint journals
+   and finish each — byte-identical to the batch JSON again.
 
 Exits non-zero (with a diagnostic) on any deviation.
 """
@@ -30,12 +33,21 @@ import urllib.error
 import urllib.request
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SPEC = {"sessions": 8, "shard_size": 2, "seed": 11,
-        "mix": "todo:greenweb,cnet:perf"}
-SPEC_ARGS = [
-    "fleet", "--sessions", "8", "--shard-size", "2", "--seed", "11",
-    "--mix", "todo:greenweb,cnet:perf",
-]
+MIX = "todo:greenweb,cnet:perf"
+SEEDS = (11, 23)
+
+
+def spec_for(seed: int) -> dict:
+    return {"sessions": 8, "shard_size": 2, "seed": seed, "mix": MIX}
+
+
+def spec_args(seed: int) -> list:
+    return [
+        "fleet", "--sessions", "8", "--shard-size", "2",
+        "--seed", str(seed), "--mix", MIX,
+    ]
+
+
 HANG = {"shard": 3, "attempts": 99, "mode": "sleep", "sleep_s": 300.0}
 
 
@@ -56,7 +68,8 @@ def start_daemon(port: int, state_dir: str, inject=None) -> subprocess.Popen:
         env["REPRO_FLEET_INJECT_CRASH"] = json.dumps(inject)
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", str(port),
-         "--jobs", "2", "--state-dir", state_dir, "--quiet"],
+         "--jobs", "2", "--max-concurrent-jobs", "2",
+         "--state-dir", state_dir, "--quiet"],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
         cwd=REPO_ROOT, env=env,
     )
@@ -77,10 +90,10 @@ def start_daemon(port: int, state_dir: str, inject=None) -> subprocess.Popen:
     fail("daemon did not answer /healthz within 30s")
 
 
-def submit_job(port: int) -> str:
+def submit_job(port: int, spec: dict) -> str:
     request = urllib.request.Request(
         f"http://127.0.0.1:{port}/jobs",
-        data=json.dumps(SPEC).encode("utf-8"), method="POST",
+        data=json.dumps(spec).encode("utf-8"), method="POST",
     )
     with urllib.request.urlopen(request, timeout=10) as response:
         detail = json.load(response)
@@ -122,9 +135,33 @@ def shards_done(port: int, job_id: str) -> int:
         return json.load(response)["progress"]["shards_done"]
 
 
-def batch_json(path: str) -> bytes:
+def check_metrics(port: int) -> None:
+    """One /metrics scrape after both jobs of life 1 settled done."""
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/metrics", timeout=10
+    ) as response:
+        content_type = response.headers.get("Content-Type", "")
+        lines = response.read().decode("utf-8").splitlines()
+    if not content_type.startswith("text/plain; version=0.0.4"):
+        fail(f"/metrics content type: {content_type!r}")
+    expected = [
+        "repro_serve_jobs_submitted_total 2",
+        'repro_serve_jobs_settled_total{status="done"} 2',
+        "repro_serve_shards_completed_total 8",
+        "repro_serve_sessions_completed_total 16",
+        "repro_serve_queue_depth 0",
+        "repro_serve_job_wall_seconds_count 2",
+    ]
+    missing = [line for line in expected if line not in lines]
+    if missing:
+        fail("metrics scrape is missing expected samples:\n"
+             + "\n".join(missing) + "\nscrape:\n" + "\n".join(lines))
+    print(f"/metrics scrape OK ({len(lines)} lines)")
+
+
+def batch_json(path: str, seed: int) -> bytes:
     run = subprocess.run(
-        [sys.executable, "-m", "repro"] + SPEC_ARGS
+        [sys.executable, "-m", "repro"] + spec_args(seed)
         + ["--progress", "never", "--json-out", path],
         capture_output=True, text=True, cwd=REPO_ROOT,
         env=dict(os.environ, PYTHONPATH="src"), timeout=180,
@@ -138,35 +175,53 @@ def batch_json(path: str) -> bytes:
 def main() -> None:
     with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
         state_dir = os.path.join(tmp, "state")
-        reference = batch_json(os.path.join(tmp, "batch.json"))
-        print(f"batch reference: {len(reference)} bytes")
+        references = {
+            seed: batch_json(os.path.join(tmp, f"batch-{seed}.json"), seed)
+            for seed in SEEDS
+        }
+        for seed, reference in references.items():
+            print(f"batch reference (seed {seed}): {len(reference)} bytes")
 
-        # --- life 1: clean job, SSE result must equal the batch JSON --
+        # --- life 1: two overlapping jobs; each SSE result must
+        # --- equal its batch JSON; then one /metrics scrape ----------
         port = free_port()
         daemon = start_daemon(port, state_dir)
         try:
-            job_id = submit_job(port)
-            result = stream_terminal_result(port, job_id).encode("utf-8")
-            if result != reference:
-                fail("SSE terminal result differs from repro fleet "
-                     f"--json-out\nsse:\n{result.decode()}\n"
-                     f"batch:\n{reference.decode()}")
-            print(f"job {job_id}: SSE result byte-identical "
-                  f"({len(result)} bytes)")
+            job_ids = {
+                seed: submit_job(port, spec_for(seed)) for seed in SEEDS
+            }
+            for seed, job_id in job_ids.items():
+                result = stream_terminal_result(port, job_id).encode("utf-8")
+                if result != references[seed]:
+                    fail(f"SSE terminal result (seed {seed}) differs from "
+                         f"repro fleet --json-out\nsse:\n{result.decode()}\n"
+                         f"batch:\n{references[seed].decode()}")
+                print(f"job {job_id} (seed {seed}): SSE result "
+                      f"byte-identical ({len(result)} bytes)")
+            check_metrics(port)
         finally:
             daemon.terminate()
             daemon.wait(timeout=60)
 
-        # --- life 2: hang the last shard, SIGTERM mid-job -------------
+        # --- life 2: hang the last shard of both jobs, SIGTERM with
+        # --- both mid-flight -----------------------------------------
         port = free_port()
         daemon = start_daemon(port, state_dir, inject=HANG)
         try:
-            job_id = submit_job(port)
-            deadline = time.monotonic() + 60.0
-            while time.monotonic() < deadline and shards_done(port, job_id) < 2:
+            job_ids = {
+                seed: submit_job(port, spec_for(seed)) for seed in SEEDS
+            }
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline and any(
+                shards_done(port, job_id) < 2 for job_id in job_ids.values()
+            ):
                 time.sleep(0.1)
-            if shards_done(port, job_id) < 2:
-                fail("job made no progress within 60s")
+            laggards = [
+                job_id for job_id in job_ids.values()
+                if shards_done(port, job_id) < 2
+            ]
+            if laggards:
+                fail(f"job(s) made no progress within 120s: {laggards}")
             daemon.send_signal(signal.SIGTERM)
             stdout, stderr = daemon.communicate(timeout=90)
         finally:
@@ -176,19 +231,21 @@ def main() -> None:
         if daemon.returncode != 128 + signal.SIGTERM:
             fail(f"expected exit {128 + signal.SIGTERM} after SIGTERM, got "
                  f"{daemon.returncode}\nstdout:\n{stdout}\nstderr:\n{stderr}")
-        print(f"daemon drained on SIGTERM mid-job (exit {daemon.returncode})")
+        print(f"daemon drained on SIGTERM with both jobs mid-flight "
+              f"(exit {daemon.returncode})")
 
-        # --- life 3: restart without the hook; job must resume --------
+        # --- life 3: restart without the hook; both jobs must resume --
         port = free_port()
         daemon = start_daemon(port, state_dir)
         try:
-            resumed = stream_terminal_result(port, job_id).encode("utf-8")
-            if resumed != reference:
-                fail("resumed job's result differs from the batch JSON\n"
-                     f"resumed:\n{resumed.decode()}\n"
-                     f"batch:\n{reference.decode()}")
-            print(f"job {job_id}: resumed after restart, byte-identical "
-                  f"({len(resumed)} bytes)")
+            for seed, job_id in job_ids.items():
+                resumed = stream_terminal_result(port, job_id).encode("utf-8")
+                if resumed != references[seed]:
+                    fail(f"resumed job (seed {seed}) differs from the batch "
+                         f"JSON\nresumed:\n{resumed.decode()}\n"
+                         f"batch:\n{references[seed].decode()}")
+                print(f"job {job_id} (seed {seed}): resumed after restart, "
+                      f"byte-identical ({len(resumed)} bytes)")
         finally:
             daemon.terminate()
             daemon.wait(timeout=60)

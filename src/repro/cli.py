@@ -345,6 +345,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         state_dir=args.state_dir,
         workers=args.jobs,
+        max_concurrent_jobs=args.max_concurrent_jobs,
+        max_queued_jobs=args.max_queued_jobs,
+        retain_jobs=args.retain_jobs,
+        retain_age_s=args.retain_age,
         quiet=args.quiet,
     )
 
@@ -527,7 +531,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--jobs", type=int, default=2,
-        help="persistent worker processes shared across jobs (default: 2)",
+        help="persistent worker processes, partitioned across the "
+        "concurrent-job lanes (default: 2; every lane gets at least 1)",
+    )
+    serve_parser.add_argument(
+        "--max-concurrent-jobs", type=int, default=1, metavar="N",
+        help="jobs executed at once, each lane on its own worker-pool "
+        "partition of --jobs/N processes (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--max-queued-jobs", type=int, default=None, metavar="N",
+        help="admission-queue bound: POST /jobs answers 429 with a "
+        "Retry-After hint once N jobs are queued (default: unbounded); "
+        "recovery after a restart is exempt",
+    )
+    serve_parser.add_argument(
+        "--retain-jobs", type=int, default=None, metavar="N",
+        help="retention GC: keep at most the N most recently settled "
+        "jobs, pruning older ones from the state dir (default: keep "
+        "all); queued/running jobs and their checkpoints are never "
+        "touched",
+    )
+    serve_parser.add_argument(
+        "--retain-age", type=float, default=None, metavar="SECONDS",
+        help="retention GC: prune jobs settled more than SECONDS ago "
+        "(default: keep all); combines with --retain-jobs (either "
+        "limit prunes)",
     )
     serve_parser.add_argument(
         "--state-dir", default="repro-serve", metavar="DIR",

@@ -376,7 +376,7 @@ class Fleet:
         def submit_ready() -> None:
             while ready and len(running) < cap:
                 shard_index, attempt = ready.popleft()
-                future = pool.executor.submit(
+                future = pool.submit(
                     run_shard_job, self._payload(by_index[shard_index], attempt)
                 )
                 running[future] = (

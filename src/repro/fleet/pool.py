@@ -16,7 +16,8 @@ Two layers live here:
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.errors import EvaluationError
@@ -66,6 +67,8 @@ class WorkerPool:
         self._initializer = initializer
         self._executor: Optional[ProcessPoolExecutor] = None
         self._closed = False
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
 
     @property
     def executor(self) -> ProcessPoolExecutor:
@@ -80,6 +83,30 @@ class WorkerPool:
                 max_workers=self.workers, initializer=self._initializer
             )
         return self._executor
+
+    def submit(self, fn: Callable[..., R], *args) -> "Future[R]":
+        """Submit work, tracking the in-flight count.
+
+        :attr:`in_flight` is what pool-utilization metrics report, so
+        every path that resolves a future — success, worker exception,
+        cancellation, pool breakage — must decrement it; the done
+        callback fires on all of them.
+        """
+        future = self.executor.submit(fn, *args)
+        with self._in_flight_lock:
+            self._in_flight += 1
+        future.add_done_callback(self._settle_in_flight)
+        return future
+
+    def _settle_in_flight(self, _future: "Future") -> None:
+        with self._in_flight_lock:
+            self._in_flight -= 1
+
+    @property
+    def in_flight(self) -> int:
+        """Submitted-but-unresolved futures (pool utilization)."""
+        with self._in_flight_lock:
+            return self._in_flight
 
     def rebuild(self) -> None:
         """Terminate the current workers and start a fresh executor."""

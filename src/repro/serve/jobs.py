@@ -27,13 +27,16 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import threading
+import time
 from collections import deque
 from typing import Optional
 
 from repro.errors import EvaluationError
 from repro.fleet import Fleet, FleetAggregate, WorkerPool
 from repro.ioutil import write_file_atomic
+from repro.serve.metrics import ServeMetrics
 from repro.serve.schemas import build_fleet_spec, normalize_job_payload
 
 QUEUED = "queued"
@@ -51,6 +54,18 @@ TERMINAL_EVENTS = ("result", "failed", "cancelled")
 #: per-job replay window: events older than this are summarised by a
 #: ``snapshot`` on reconnect instead of replayed one by one
 EVENT_WINDOW = 1024
+
+#: daemon-generated job ids; recovered state dirs may contain others
+_JOB_NUMBER = re.compile(r"^job-(\d+)$")
+
+
+class QueueFull(EvaluationError):
+    """Admission refused: the queue is at ``max_queued`` jobs.
+
+    The server maps this to HTTP 429 with a ``Retry-After`` hint;
+    recovery is exempt (a restarted daemon never drops persisted
+    jobs, no matter how many it finds queued on disk).
+    """
 
 
 def merge_partials(partials: dict[int, dict]) -> FleetAggregate:
@@ -78,6 +93,16 @@ class Job:
         self.id = job_id
         self.payload = payload
         self.status = status
+        #: admission priority — higher runs sooner; ties break by
+        #: submission order.  Older persisted records predate the field.
+        self.priority: int = payload.get("priority", 0)
+        #: store-assigned admission sequence number; a requeued job
+        #: keeps its original one, so a daemon drain puts it back ahead
+        #: of everything submitted after it at the same priority.
+        self.submit_seq = 0
+        #: wall-clock time the job reached a settled status (retention
+        #: GC orders and ages settled jobs by this)
+        self.settled_at: Optional[float] = None
         self.error: Optional[str] = None
         self.ok: Optional[bool] = None
         self.result_text: Optional[str] = None
@@ -95,6 +120,11 @@ class Job:
         #: retained (seq, name, data) events for replay; older ones are
         #: covered by the snapshot a late subscriber receives first
         self.events: deque[tuple[int, str, str]] = deque(maxlen=EVENT_WINDOW)
+
+    @property
+    def sort_key(self) -> tuple[int, int]:
+        """Queue order: highest priority first, then admission order."""
+        return (-self.priority, self.submit_seq)
 
     # -- event log -----------------------------------------------------
     def publish(self, name: str, data: str) -> int:
@@ -128,6 +158,7 @@ class Job:
             return {
                 "id": self.id,
                 "status": self.status,
+                "priority": self.priority,
                 "sessions": self.payload["sessions"],
                 "shards_done": self.shards_done,
                 "shards_total": self.shards_total,
@@ -139,6 +170,7 @@ class Job:
             detail = {
                 "id": self.id,
                 "status": self.status,
+                "priority": self.priority,
                 "spec": dict(self.payload),
                 "progress": {
                     "shards_done": self.shards_done,
@@ -159,13 +191,29 @@ class Job:
 
 
 class JobStore:
-    """All jobs the daemon knows, backed by the state directory."""
+    """All jobs the daemon knows, backed by the state directory.
 
-    def __init__(self, state_dir: str):
+    ``max_queued`` bounds the *admission* queue (jobs waiting for a
+    scheduler lane); when it is full, :meth:`submit` raises
+    :class:`QueueFull` instead of accepting work the daemon cannot
+    start.  Running and settled jobs never count against the bound,
+    and :meth:`recover` is exempt — persisted jobs are always loaded.
+    """
+
+    def __init__(self, state_dir: str, max_queued: Optional[int] = None):
+        if max_queued is not None and max_queued < 1:
+            raise EvaluationError(
+                f"max_queued must be >= 1 (or None for unbounded), "
+                f"got {max_queued}"
+            )
         self.state_dir = state_dir
+        self.max_queued = max_queued
         self._lock = threading.Condition()
         self._jobs: dict[str, Job] = {}
-        self._queue: deque[str] = deque()
+        #: queued job ids; order is decided at claim time by
+        #: :attr:`Job.sort_key` (priority, then admission sequence)
+        self._queue: list[str] = []
+        self._submit_seq = 0
         self.closed = False
 
     # -- paths ---------------------------------------------------------
@@ -182,21 +230,43 @@ class JobStore:
         record = {"id": job.id, "status": job.status, "spec": job.payload}
         if job.error is not None:
             record["error"] = job.error
+        if job.settled_at is not None:
+            record["settled_at"] = job.settled_at
         write_file_atomic(
             self.job_path(job.id), json.dumps(record, sort_keys=True) + "\n"
         )
 
     # -- lifecycle -----------------------------------------------------
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
     def submit(self, payload: object) -> Job:
-        """Validate, persist, and enqueue one job; returns it."""
+        """Validate, persist, and enqueue one job; returns it.
+
+        Raises :class:`QueueFull` when the admission queue is at
+        ``max_queued`` — before anything is persisted, so a rejected
+        submission leaves no trace in the state dir.
+        """
         canonical = normalize_job_payload(payload)
         with self._lock:
             if self.closed:
                 raise EvaluationError("job store is shut down")
-            number = 1 + max(
-                (int(job_id.split("-")[1]) for job_id in self._jobs), default=0
+            if self.max_queued is not None and len(self._queue) >= self.max_queued:
+                raise QueueFull(
+                    f"admission queue is full ({len(self._queue)}/"
+                    f"{self.max_queued} queued jobs); retry later"
+                )
+            # Recovered state dirs may hold ids this daemon did not
+            # mint; number past the daemon-format ones only.
+            numbers = (
+                int(match.group(1))
+                for match in map(_JOB_NUMBER.match, self._jobs)
+                if match is not None
             )
-            job = Job(f"job-{number:04d}", canonical)
+            job = Job(f"job-{1 + max(numbers, default=0):04d}", canonical)
+            self._submit_seq += 1
+            job.submit_seq = self._submit_seq
             self._jobs[job.id] = job
             self._persist(job)
             self._queue.append(job.id)
@@ -219,6 +289,7 @@ class JobStore:
                 record = json.load(handle)
             job = Job(record["id"], record["spec"], status=record["status"])
             job.error = record.get("error")
+            job.settled_at = record.get("settled_at")
             result_path = self.result_path(job.id)
             if os.path.exists(result_path):
                 with open(result_path, encoding="utf-8") as handle:
@@ -228,11 +299,20 @@ class JobStore:
                 job.shards_done = job.shards_total
                 job.sessions_completed = result["run"]["sessions_completed"]
                 job.ok = not result["run"]["failed_shards"]
+                if job.settled_at is None:
+                    # Result written, daemon died before re-persisting
+                    # the record: the result file's mtime is settle time.
+                    job.settled_at = os.path.getmtime(result_path)
             elif job.status not in SETTLED:
                 job.status = QUEUED
             recovered.append(job)
+        # The admission bound deliberately does not apply here:
+        # persisted jobs are never dropped, however many were queued
+        # at shutdown.
         with self._lock:
             for job in recovered:
+                self._submit_seq += 1
+                job.submit_seq = self._submit_seq
                 self._jobs[job.id] = job
                 if job.status == QUEUED:
                     self._queue.append(job.id)
@@ -248,13 +328,20 @@ class JobStore:
             return [self._jobs[job_id] for job_id in sorted(self._jobs)]
 
     def claim_next(self, timeout: float = 0.5) -> Optional[Job]:
-        """Pop the oldest queued job and mark it running (runner only)."""
+        """Pop the best queued job and mark it running (scheduler only).
+
+        "Best" is highest priority, oldest admission within a priority
+        — :attr:`Job.sort_key`.  Safe to call from any number of
+        scheduler lanes concurrently; each queued job is claimed once.
+        """
         with self._lock:
             if not self._queue:
                 self._lock.wait(timeout)
             if self.closed or not self._queue:
                 return None
-            job = self._jobs[self._queue.popleft()]
+            job_id = min(self._queue, key=lambda jid: self._jobs[jid].sort_key)
+            self._queue.remove(job_id)
+            job = self._jobs[job_id]
         with job.cond:
             job.status = RUNNING
         return job
@@ -263,13 +350,15 @@ class JobStore:
         """Put a drained (daemon-shutdown) job back in queued state.
 
         Its persisted record already says ``queued`` — running is never
-        written to disk — so only the in-memory state moves.
+        written to disk — so only the in-memory state moves.  The job
+        keeps its original admission sequence, so it sorts ahead of
+        everything submitted after it at the same priority.
         """
         with job.cond:
             job.status = QUEUED
             job.stop = threading.Event()
         with self._lock:
-            self._queue.appendleft(job.id)
+            self._queue.append(job.id)
 
     def cancel(self, job_id: str) -> Job:
         """Cancel a queued job outright or request stop of a running one."""
@@ -287,6 +376,7 @@ class JobStore:
                     if job_id in self._queue:
                         self._queue.remove(job_id)
                     job.status = CANCELLED
+                    job.settled_at = time.time()
                     self._persist(job)
                 else:
                     job.stop.set()
@@ -299,8 +389,56 @@ class JobStore:
         with job.cond:
             job.status = status
             job.error = error
+            job.settled_at = time.time()
         with self._lock:
             self._persist(job)
+
+    def prune(
+        self,
+        retain_jobs: Optional[int] = None,
+        retain_age_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> list[str]:
+        """Retention GC: drop settled jobs beyond the policy.
+
+        A settled job is pruned when it falls outside the newest
+        ``retain_jobs`` settled jobs, or settled more than
+        ``retain_age_s`` seconds ago; either limit alone prunes.
+        Unsettled jobs (queued/running) are never candidates, so their
+        checkpoint journals are never touched.  Per job the files go
+        in resurrection-proof order — ``<id>.job.json`` first (without
+        it a half-pruned job can never be recovered and re-run),
+        result and checkpoint after — and the in-memory entry last.
+        """
+        if retain_jobs is None and retain_age_s is None:
+            return []
+        now = time.time() if now is None else now
+        with self._lock:
+            settled = [
+                job for job in self._jobs.values() if job.status in SETTLED
+            ]
+            # Newest settle first; jobs with no recorded settle time
+            # (legacy records) age as oldest.
+            settled.sort(key=lambda job: job.settled_at or 0.0, reverse=True)
+            doomed: list[Job] = []
+            for rank, job in enumerate(settled):
+                too_many = retain_jobs is not None and rank >= retain_jobs
+                age = now - (job.settled_at or 0.0)
+                too_old = retain_age_s is not None and age > retain_age_s
+                if too_many or too_old:
+                    doomed.append(job)
+            for job in doomed:
+                for path in (
+                    self.job_path(job.id),
+                    self.result_path(job.id),
+                    self.checkpoint_path(job.id),
+                ):
+                    try:
+                        os.remove(path)
+                    except FileNotFoundError:
+                        pass
+                del self._jobs[job.id]
+        return [job.id for job in doomed]
 
     def close(self) -> None:
         with self._lock:
@@ -311,20 +449,21 @@ class JobStore:
                 job.cond.notify_all()
 
 
-class JobRunner(threading.Thread):
-    """The single job-execution thread: queue in, fleet runs out.
+class _JobLane(threading.Thread):
+    """One concurrent job slot: a claim loop over its own worker pool.
 
-    Jobs run one at a time on the shared :class:`WorkerPool`, so "the
-    daemon's capacity" is one knob (``--jobs``) and warm worker
-    processes carry over from job to job.  Parallelism *within* a job
-    is the fleet driver's shard fan-out, exactly as in the batch CLI.
+    A lane owns a :class:`WorkerPool` partition outright, so a hang in
+    one job rebuilds only that lane's workers — jobs in other lanes
+    never lose in-flight shards to a neighbour's misbehaviour — and
+    warm worker processes carry over from job to job within the lane.
     """
 
-    def __init__(self, store: JobStore, pool: WorkerPool, inject_crash: Optional[dict] = None):
-        super().__init__(name="repro-serve-runner", daemon=True)
-        self.store = store
+    def __init__(self, scheduler: "JobScheduler", index: int, pool: WorkerPool):
+        super().__init__(name=f"repro-serve-lane-{index}", daemon=True)
+        self.scheduler = scheduler
+        self.store = scheduler.store
+        self.index = index
         self.pool = pool
-        self.inject_crash = inject_crash
         self._draining = threading.Event()
         self.current: Optional[Job] = None
 
@@ -350,10 +489,15 @@ class JobRunner(threading.Thread):
     # -----------------------------------------------------------------
     def _execute(self, job: Job) -> None:
         store = self.store
+        metrics = self.scheduler.metrics
         if self._draining.is_set():
             # Drain landed between claim and start: nothing ran yet.
             store.requeue(job)
             return
+        started = time.monotonic()
+
+        def wall_s() -> float:
+            return time.monotonic() - started
 
         def on_shard(partial: dict, accepted: int, total: int) -> None:
             with job.cond:
@@ -362,10 +506,13 @@ class JobRunner(threading.Thread):
                 job.shards_total = total
                 job.sessions_completed += partial["sessions"]
                 data = job.progress_data(shard=partial)
+            metrics.shard_completed(partial["sessions"])
             job.publish("update", data)
 
         try:
-            spec = build_fleet_spec(job.payload, inject_crash=self.inject_crash)
+            spec = build_fleet_spec(
+                job.payload, inject_crash=self.scheduler.inject_crash
+            )
             fleet = Fleet(
                 spec,
                 jobs=self.pool.workers,
@@ -381,7 +528,9 @@ class JobRunner(threading.Thread):
             result = fleet.run()
         except Exception as exc:  # noqa: BLE001 - one job must not kill the daemon
             store.settle(job, FAILED, error=f"{type(exc).__name__}: {exc}")
+            metrics.job_settled(FAILED, wall_s())
             job.publish("failed", json.dumps({"id": job.id, "error": job.error}))
+            self.scheduler.gc()
             return
 
         with job.cond:
@@ -390,6 +539,7 @@ class JobRunner(threading.Thread):
         if result.stopped:
             if job.cancel_requested:
                 store.settle(job, CANCELLED)
+                metrics.job_settled(CANCELLED, wall_s())
                 job.publish(
                     "cancelled",
                     json.dumps(
@@ -397,6 +547,7 @@ class JobRunner(threading.Thread):
                          "shards_done": job.shards_done}
                     ),
                 )
+                self.scheduler.gc()
             else:
                 # Daemon drain: the job is not over, the daemon is.
                 store.requeue(job)
@@ -408,4 +559,77 @@ class JobRunner(threading.Thread):
             job.result_text = result_text
             job.ok = not result.failures
         store.settle(job, DONE)
+        metrics.job_settled(DONE, wall_s())
         job.publish("result", result_text)
+        self.scheduler.gc()
+
+
+class JobScheduler:
+    """N concurrent job lanes over a partitioned worker-pool fleet.
+
+    The single-runner design this replaces made "daemon capacity" one
+    shared pool; here each lane gets its own :class:`WorkerPool`
+    partition so concurrent jobs cannot starve or rebuild each other.
+    The scheduler is the facade the daemon drives: ``start``/``drain``/
+    ``join`` fan out to every lane, :meth:`gc` applies the retention
+    policy after any job settles, and :attr:`busy` feeds the metrics
+    and the ``Retry-After`` hint.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        pools: list[WorkerPool],
+        inject_crash: Optional[dict] = None,
+        metrics: Optional[ServeMetrics] = None,
+        retain_jobs: Optional[int] = None,
+        retain_age_s: Optional[float] = None,
+    ):
+        if not pools:
+            raise EvaluationError("job scheduler needs >= 1 worker pool")
+        self.store = store
+        self.inject_crash = inject_crash
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.retain_jobs = retain_jobs
+        self.retain_age_s = retain_age_s
+        self.lanes = [
+            _JobLane(self, index, pool) for index, pool in enumerate(pools)
+        ]
+
+    def start(self) -> None:
+        for lane in self.lanes:
+            lane.start()
+
+    def drain(self) -> None:
+        """Stop every lane after its current shard; running jobs go
+        back to queued with their checkpoints intact."""
+        for lane in self.lanes:
+            lane.drain()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for lane in self.lanes:
+            if not lane.is_alive():
+                continue
+            remaining = (
+                None if deadline is None
+                else max(deadline - time.monotonic(), 0.0)
+            )
+            lane.join(timeout=remaining)
+
+    def is_alive(self) -> bool:
+        return any(lane.is_alive() for lane in self.lanes)
+
+    @property
+    def busy(self) -> int:
+        """Lanes currently executing a job."""
+        return sum(1 for lane in self.lanes if lane.current is not None)
+
+    def gc(self) -> list[str]:
+        """Apply the retention policy; returns the pruned job ids."""
+        pruned = self.store.prune(
+            retain_jobs=self.retain_jobs, retain_age_s=self.retain_age_s
+        )
+        if pruned:
+            self.metrics.jobs_pruned_add(len(pruned))
+        return pruned

@@ -1,0 +1,232 @@
+"""Prometheus-text metrics for the ``repro serve`` daemon.
+
+One :class:`ServeMetrics` instance per daemon accumulates counters and
+the job wall-time histogram under a lock (the scheduler lanes, the HTTP
+handler threads, and the SSE streams all write to it); the point-in-time
+gauges — jobs by status, queue depth, lane/pool occupancy — are read
+from the live store and scheduler at scrape time, so ``GET /metrics``
+never shows a stale queue.
+
+The exposition format is the Prometheus text format 0.0.4 (``# HELP`` /
+``# TYPE`` preamble, one ``name{labels} value`` line per sample) — the
+subset every scraper understands, emitted without any client library.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional
+
+#: Upper bounds (seconds) of the job wall-time histogram buckets; the
+#: implicit +Inf bucket catches the rest.
+WALL_TIME_BUCKETS_S = (1.0, 5.0, 15.0, 60.0, 300.0, 1800.0)
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def sample_line(name: str, labels: dict[str, str], value: float) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label(str(val))}"'
+            for key, val in sorted(labels.items())
+        )
+        return f"{name}{{{rendered}}} {_fmt(value)}"
+    return f"{name} {_fmt(value)}"
+
+
+def render_samples(
+    name: str,
+    kind: str,
+    help_text: str,
+    samples: Iterable[tuple[dict[str, str], float]],
+) -> list[str]:
+    """One metric family: HELP + TYPE + its samples."""
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} {kind}"]
+    for labels, value in samples:
+        lines.append(sample_line(name, labels, value))
+    return lines
+
+
+class ServeMetrics:
+    """Counters and the wall-time histogram, plus the scrape renderer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.jobs_submitted = 0
+        self.jobs_rejected = 0
+        self.jobs_settled: dict[str, int] = {}
+        self.jobs_pruned = 0
+        self.shards_completed = 0
+        self.sessions_completed = 0
+        self.sse_subscribers = 0
+        self._wall_bucket_counts = [0] * (len(WALL_TIME_BUCKETS_S) + 1)
+        self._wall_sum_s = 0.0
+        self._wall_count = 0
+
+    # -- writers (scheduler lanes / HTTP threads) ----------------------
+    def job_submitted(self) -> None:
+        with self._lock:
+            self.jobs_submitted += 1
+
+    def job_rejected(self) -> None:
+        with self._lock:
+            self.jobs_rejected += 1
+
+    def job_settled(self, status: str, wall_s: Optional[float] = None) -> None:
+        with self._lock:
+            self.jobs_settled[status] = self.jobs_settled.get(status, 0) + 1
+            if wall_s is not None:
+                for index, bound in enumerate(WALL_TIME_BUCKETS_S):
+                    if wall_s <= bound:
+                        self._wall_bucket_counts[index] += 1
+                        break
+                else:
+                    self._wall_bucket_counts[-1] += 1
+                self._wall_sum_s += wall_s
+                self._wall_count += 1
+
+    def jobs_pruned_add(self, count: int) -> None:
+        with self._lock:
+            self.jobs_pruned += count
+
+    def shard_completed(self, sessions: int) -> None:
+        with self._lock:
+            self.shards_completed += 1
+            self.sessions_completed += sessions
+
+    def sse_opened(self) -> None:
+        with self._lock:
+            self.sse_subscribers += 1
+
+    def sse_closed(self) -> None:
+        with self._lock:
+            self.sse_subscribers -= 1
+
+    # -- readers -------------------------------------------------------
+    def mean_wall_s(self) -> Optional[float]:
+        """Mean settled-job wall time; the ``Retry-After`` hint input."""
+        with self._lock:
+            if not self._wall_count:
+                return None
+            return self._wall_sum_s / self._wall_count
+
+    def render(
+        self,
+        *,
+        jobs_by_status: dict[str, int],
+        queue_depth: int,
+        lanes_busy: int,
+        lanes_total: int,
+        pools: Iterable[tuple[int, int, int]],
+    ) -> str:
+        """The full ``GET /metrics`` document.
+
+        ``pools`` yields ``(lane_index, workers, in_flight)`` triples
+        read from the live worker pools at scrape time.
+        """
+        with self._lock:
+            settled = dict(self.jobs_settled)
+            wall_buckets = list(self._wall_bucket_counts)
+            wall_sum, wall_count = self._wall_sum_s, self._wall_count
+            submitted, rejected = self.jobs_submitted, self.jobs_rejected
+            pruned = self.jobs_pruned
+            shards, sessions = self.shards_completed, self.sessions_completed
+            subscribers = self.sse_subscribers
+
+        lines: list[str] = []
+        lines += render_samples(
+            "repro_serve_jobs", "gauge",
+            "Jobs known to the daemon, by current status.",
+            [({"status": status}, count)
+             for status, count in sorted(jobs_by_status.items())],
+        )
+        lines += render_samples(
+            "repro_serve_queue_depth", "gauge",
+            "Jobs waiting in the admission queue.",
+            [({}, queue_depth)],
+        )
+        lines += render_samples(
+            "repro_serve_jobs_submitted_total", "counter",
+            "Jobs accepted by POST /jobs since daemon start.",
+            [({}, submitted)],
+        )
+        lines += render_samples(
+            "repro_serve_jobs_rejected_total", "counter",
+            "POST /jobs requests refused with 429 (queue full).",
+            [({}, rejected)],
+        )
+        lines += render_samples(
+            "repro_serve_jobs_settled_total", "counter",
+            "Jobs settled since daemon start, by terminal status.",
+            [({"status": status}, count)
+             for status, count in sorted(settled.items())],
+        )
+        lines += render_samples(
+            "repro_serve_jobs_pruned_total", "counter",
+            "Settled jobs removed from the state dir by retention GC.",
+            [({}, pruned)],
+        )
+        lines += render_samples(
+            "repro_serve_shards_completed_total", "counter",
+            "Shard partials accepted across all jobs (resumed included).",
+            [({}, shards)],
+        )
+        lines += render_samples(
+            "repro_serve_sessions_completed_total", "counter",
+            "Sessions aggregated across all jobs (resumed included).",
+            [({}, sessions)],
+        )
+        lines += render_samples(
+            "repro_serve_sse_subscribers", "gauge",
+            "Open SSE event-stream connections.",
+            [({}, subscribers)],
+        )
+        lines += render_samples(
+            "repro_serve_lanes", "gauge",
+            "Scheduler lanes (concurrent job slots), by state.",
+            [({"state": "busy"}, lanes_busy),
+             ({"state": "idle"}, lanes_total - lanes_busy)],
+        )
+        pool_samples_workers: list[tuple[dict[str, str], float]] = []
+        pool_samples_in_flight: list[tuple[dict[str, str], float]] = []
+        for lane_index, workers, in_flight in pools:
+            label = {"lane": str(lane_index)}
+            pool_samples_workers.append((label, workers))
+            pool_samples_in_flight.append((label, in_flight))
+        lines += render_samples(
+            "repro_serve_pool_workers", "gauge",
+            "Worker processes provisioned per scheduler lane.",
+            pool_samples_workers,
+        )
+        lines += render_samples(
+            "repro_serve_pool_in_flight", "gauge",
+            "Shards currently submitted to each lane's worker pool.",
+            pool_samples_in_flight,
+        )
+        name = "repro_serve_job_wall_seconds"
+        lines.append(
+            f"# HELP {name} Wall-clock runtime of settled jobs "
+            f"(execution start to settle)."
+        )
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(WALL_TIME_BUCKETS_S, wall_buckets):
+            cumulative += count
+            lines.append(
+                sample_line(f"{name}_bucket", {"le": f"{bound:g}"}, cumulative)
+            )
+        lines.append(sample_line(f"{name}_bucket", {"le": "+Inf"}, wall_count))
+        lines.append(f"{name}_sum {_fmt(wall_sum)}")
+        lines.append(f"{name}_count {_fmt(wall_count)}")
+        return "\n".join(lines) + "\n"

@@ -26,7 +26,14 @@ PAYLOAD_DEFAULTS: dict = {
     "shard_timeout_s": 300.0,
     "settle_s": 4.0,
     "trace_level": "gated",
+    # Scheduling priority: higher claims a lane sooner; ties run in
+    # admission order.  Never part of the FleetSpec (or its
+    # fingerprint) — it orders execution, it cannot change results.
+    "priority": 0,
 }
+
+#: accepted ``priority`` range (inclusive)
+PRIORITY_MIN, PRIORITY_MAX = -10, 10
 
 
 def _require_int(payload: dict, key: str) -> int:
@@ -75,8 +82,13 @@ def normalize_job_payload(payload: object) -> dict:
             )
         merged["mix"] = mix
 
-    for key in ("sessions", "seed", "shard_size", "max_retries"):
+    for key in ("sessions", "seed", "shard_size", "max_retries", "priority"):
         merged[key] = _require_int(merged, key)
+    if not PRIORITY_MIN <= merged["priority"] <= PRIORITY_MAX:
+        raise EvaluationError(
+            f"job field 'priority' must be in [{PRIORITY_MIN}, "
+            f"{PRIORITY_MAX}], got {merged['priority']}"
+        )
     for key in ("shard_timeout_s", "settle_s"):
         merged[key] = _require_number(merged, key)
     if not isinstance(merged["trace_level"], str) or merged["trace_level"] not in TRACE_LEVELS:

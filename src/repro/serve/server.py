@@ -1,16 +1,19 @@
 """The ``repro serve`` HTTP daemon: fleet simulation as a service.
 
 Stdlib only — :class:`http.server.ThreadingHTTPServer` accepts
-connections (one thread per request), a single :class:`JobRunner`
-thread executes jobs on the shared :class:`repro.fleet.WorkerPool`, and
-the whole thing is orchestrated by :class:`ServeApp` so the CLI, the
-tests, and the smoke script drive the exact same lifecycle.
+connections (one thread per request), a :class:`JobScheduler` executes
+up to ``--max-concurrent-jobs`` jobs at once, each lane on its own
+:class:`repro.fleet.WorkerPool` partition, and the whole thing is
+orchestrated by :class:`ServeApp` so the CLI, the tests, and the smoke
+script drive the exact same lifecycle.
 
 API surface::
 
     GET    /                 HTML index of jobs
     GET    /healthz          liveness + queue stats
-    POST   /jobs             submit a job (FleetSpec JSON) -> 201
+    GET    /metrics          Prometheus text exposition
+    POST   /jobs             submit a job (FleetSpec JSON) -> 201;
+                             429 + Retry-After when the queue is full
     GET    /jobs             list jobs
     GET    /jobs/{id}        job detail
     DELETE /jobs/{id}        cancel (queued: immediate; running: stop)
@@ -20,8 +23,9 @@ API surface::
 
 The terminal ``result`` event's payload is byte-identical to
 ``repro fleet --json-out`` for the same spec and seed; a SIGTERM'd
-daemon requeues its in-flight job and a restarted daemon resumes it
-from its checkpoint journal, preserving that byte-identity.
+daemon requeues every in-flight job and a restarted daemon resumes
+each from its checkpoint journal, preserving that byte-identity even
+with several jobs in flight.
 """
 
 from __future__ import annotations
@@ -46,10 +50,12 @@ from repro.serve.jobs import (
     SETTLED,
     TERMINAL_EVENTS,
     Job,
-    JobRunner,
+    JobScheduler,
     JobStore,
+    QueueFull,
     merge_partials,
 )
+from repro.serve.metrics import ServeMetrics
 from repro.serve.sse import encode_event
 
 #: reconnection delay hint sent on every event stream (milliseconds)
@@ -60,6 +66,21 @@ SSE_RETRY_MS = 2000
 KEEPALIVE_S = 15.0
 
 _JOB_ROUTE = re.compile(r"^/jobs/([A-Za-z0-9_-]+)(?:/(events|report))?$")
+
+
+def clamp_cursor(raw: Optional[str], seq: int) -> int:
+    """Normalise a ``Last-Event-ID`` header into a valid event cursor.
+
+    Garbage, negative, and beyond-the-log values all clamp into
+    ``[0, seq]``: a cursor is a position in this job's event log, and
+    accepting one outside it would either replay from a nonsense
+    offset or wait forever for events that can never exist.
+    """
+    try:
+        cursor = int(raw if raw is not None else 0)
+    except ValueError:
+        cursor = 0
+    return max(0, min(cursor, seq))
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -79,11 +100,15 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     # -- response helpers ---------------------------------------------
-    def _send_json(self, status: int, body: dict) -> None:
+    def _send_json(
+        self, status: int, body: dict, headers: Optional[dict] = None
+    ) -> None:
         payload = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -91,6 +116,14 @@ class _Handler(BaseHTTPRequestHandler):
         payload = text.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
@@ -111,6 +144,11 @@ class _Handler(BaseHTTPRequestHandler):
             return self._send_html(200, self.app.render_index())
         if path == "/healthz":
             return self._send_json(200, self.app.health())
+        if path == "/metrics":
+            return self._send_text(
+                200, self.app.render_metrics(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         if path == "/jobs":
             return self._send_json(
                 200, {"jobs": [job.to_summary() for job in self.app.store.list_jobs()]}
@@ -141,8 +179,19 @@ class _Handler(BaseHTTPRequestHandler):
             return self._error(400, f"request body is not valid JSON: {exc}")
         try:
             job = self.app.store.submit(payload)
+        except QueueFull as exc:
+            # Backpressure, not failure: tell the client when the
+            # queue is likely to have a slot again.
+            self.app.metrics.job_rejected()
+            retry_after = self.app.retry_after_hint()
+            return self._send_json(
+                429,
+                {"error": str(exc), "retry_after_s": retry_after},
+                headers={"Retry-After": str(retry_after)},
+            )
         except ReproError as exc:
             return self._error(400, str(exc))
+        self.app.metrics.job_submitted()
         return self._send_json(201, job.to_detail())
 
     def do_DELETE(self) -> None:  # noqa: N802
@@ -157,6 +206,11 @@ class _Handler(BaseHTTPRequestHandler):
         except EvaluationError as exc:
             return self._error(409, str(exc))
         status = job.to_summary()["status"]
+        if status == CANCELLED:
+            # Queued-job cancel settles here, not in a scheduler lane:
+            # account for it and apply retention now.
+            self.app.metrics.job_settled(CANCELLED)
+            self.app.scheduler.gc()
         return self._send_json(
             200,
             {"id": job.id, "status": status,
@@ -167,16 +221,13 @@ class _Handler(BaseHTTPRequestHandler):
     def _stream_events(self, job: Job) -> None:
         """Stream the job's event log as Server-Sent Events.
 
-        Honors ``Last-Event-ID``: retained events after the client's
-        cursor are replayed one by one; if the cursor fell behind the
-        replay window, one ``snapshot`` event (current progress plus
-        the prefix aggregate) stands in for everything missed.  The
-        stream ends after a terminal event or at daemon shutdown.
+        Honors ``Last-Event-ID``: the cursor is clamped to the job's
+        event-log range (see :func:`clamp_cursor`), retained events
+        after it are replayed one by one, and if the cursor fell behind
+        the replay window, one ``snapshot`` event (current progress
+        plus the prefix aggregate) stands in for everything missed.
+        The stream ends after a terminal event or at daemon shutdown.
         """
-        try:
-            cursor = int(self.headers.get("Last-Event-ID", "0"))
-        except ValueError:
-            cursor = 0
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-cache")
@@ -184,8 +235,12 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
 
         store = self.app.store
+        self.app.metrics.sse_opened()
         try:
             with job.cond:
+                cursor = clamp_cursor(
+                    self.headers.get("Last-Event-ID"), job.seq
+                )
                 first_retained = job.events[0][0] if job.events else job.seq + 1
                 snapshot = None
                 if cursor < first_retained - 1 or (cursor == 0 and job.seq == 0):
@@ -199,6 +254,9 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                 )
             else:
+                # A standalone retry frame: no data (so no dispatched
+                # event), but per spec it sets the stream-wide
+                # reconnection time the moment the line is processed.
                 self.wfile.write(f"retry: {SSE_RETRY_MS}\n\n".encode("utf-8"))
             self.wfile.flush()
 
@@ -226,14 +284,23 @@ class _Handler(BaseHTTPRequestHandler):
                     last_write = time.monotonic()
         except (BrokenPipeError, ConnectionResetError):
             return  # client went away; nothing to clean up
+        finally:
+            self.app.metrics.sse_closed()
 
 
 class ServeApp:
-    """Everything the daemon owns: store, runner, pool, HTTP server.
+    """Everything the daemon owns: store, scheduler, pools, HTTP server.
 
     Binding happens in the constructor so startup failures (port in
     use, bad state dir) surface as one-line
     :class:`~repro.errors.EvaluationError`\\ s before any thread starts.
+
+    ``max_concurrent_jobs`` lanes execute jobs concurrently, each on
+    its own :class:`WorkerPool` partition of roughly
+    ``workers / max_concurrent_jobs`` processes (at least one per
+    lane, so lanes can exceed ``workers`` when it is smaller than the
+    lane count).  ``max_queued_jobs`` bounds admission (429 when
+    full); ``retain_jobs``/``retain_age_s`` configure settled-job GC.
     """
 
     def __init__(
@@ -242,10 +309,20 @@ class ServeApp:
         port: int = 8734,
         state_dir: str = "repro-serve",
         workers: int = 2,
+        max_concurrent_jobs: int = 1,
+        max_queued_jobs: Optional[int] = None,
+        retain_jobs: Optional[int] = None,
+        retain_age_s: Optional[float] = None,
         inject_crash: Optional[dict] = None,
         quiet: bool = False,
     ):
         self.quiet = quiet
+        if max_concurrent_jobs < 1:
+            raise EvaluationError(
+                f"--max-concurrent-jobs must be >= 1, got {max_concurrent_jobs}"
+            )
+        if workers < 1:
+            raise EvaluationError(f"--jobs must be >= 1, got {workers}")
         try:
             os.makedirs(state_dir, exist_ok=True)
         except OSError as exc:
@@ -254,9 +331,18 @@ class ServeApp:
             ) from None
         if not os.access(state_dir, os.W_OK):
             raise EvaluationError(f"state dir {state_dir!r} is not writable")
-        self.store = JobStore(state_dir)
-        self.pool = WorkerPool(workers)
-        self.runner = JobRunner(self.store, self.pool, inject_crash=inject_crash)
+        self.metrics = ServeMetrics()
+        self.store = JobStore(state_dir, max_queued=max_queued_jobs)
+        per_lane = max(1, workers // max_concurrent_jobs)
+        self.pools = [WorkerPool(per_lane) for _ in range(max_concurrent_jobs)]
+        self.scheduler = JobScheduler(
+            self.store,
+            self.pools,
+            inject_crash=inject_crash,
+            metrics=self.metrics,
+            retain_jobs=retain_jobs,
+            retain_age_s=retain_age_s,
+        )
         try:
             self.httpd = ThreadingHTTPServer((host, port), _Handler)
         except OSError as exc:
@@ -267,6 +353,10 @@ class ServeApp:
         self.httpd.app = self  # type: ignore[attr-defined]
         self._serve_thread: Optional[threading.Thread] = None
         self._stopped = False
+
+    @property
+    def total_workers(self) -> int:
+        return sum(pool.workers for pool in self.pools)
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -288,7 +378,11 @@ class ServeApp:
                 f"resuming {len(requeued)}: "
                 f"{', '.join(job.id for job in requeued)}\n"
             )
-        self.runner.start()
+        # Apply retention to what recovery loaded before running
+        # anything: a daemon restarted after months prunes stale
+        # settled jobs up front.
+        self.scheduler.gc()
+        self.scheduler.start()
         self._serve_thread = threading.Thread(
             target=self.httpd.serve_forever, name="repro-serve-http", daemon=True
         )
@@ -296,19 +390,20 @@ class ServeApp:
         return self
 
     def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain the runner (its
+        """Graceful shutdown: stop accepting, drain every lane (each
         in-flight job goes back to queued with its checkpoint intact),
-        wake every SSE subscriber, terminate the worker pool."""
+        wake every SSE subscriber, terminate the worker pools."""
         if self._stopped:
             return
         self._stopped = True
         self.httpd.shutdown()
-        self.runner.drain()
-        if self.runner.is_alive():
-            self.runner.join(timeout=60.0)
+        self.scheduler.drain()
+        if self.scheduler.is_alive():
+            self.scheduler.join(timeout=60.0)
         self.store.close()
         self.httpd.server_close()
-        self.pool.shutdown()
+        for pool in self.pools:
+            pool.shutdown()
 
     def run_until_signal(self) -> int:
         """Foreground mode for the CLI: serve until SIGINT/SIGTERM."""
@@ -332,13 +427,14 @@ class ServeApp:
             print(
                 f"serving on http://{host}:{port} "
                 f"(state dir {self.store.state_dir!r}, "
-                f"{self.pool.workers} worker(s)); Ctrl-C to stop"
+                f"{len(self.pools)} lane(s) x "
+                f"{self.pools[0].workers} worker(s)); Ctrl-C to stop"
             )
             done.wait()
             signum = received[0] if received else signal.SIGTERM
             print(
                 f"shutting down on {signal.Signals(signum).name}: draining "
-                f"current job (progress is checkpointed; restart resumes it)"
+                f"in-flight jobs (progress is checkpointed; restart resumes them)"
             )
             self.stop()
             return 128 + signum
@@ -347,17 +443,49 @@ class ServeApp:
                 signal.signal(signum, handler)
 
     # -- rendering -----------------------------------------------------
-    def health(self) -> dict:
-        jobs = self.store.list_jobs()
+    def _jobs_by_status(self) -> dict[str, int]:
         by_status: dict[str, int] = {}
-        for job in jobs:
-            summary = job.to_summary()
-            by_status[summary["status"]] = by_status.get(summary["status"], 0) + 1
+        for job in self.store.list_jobs():
+            status = job.to_summary()["status"]
+            by_status[status] = by_status.get(status, 0) + 1
+        return by_status
+
+    def health(self) -> dict:
         return {
             "status": "ok",
-            "jobs": by_status,
-            "workers": self.pool.workers,
+            "jobs": self._jobs_by_status(),
+            "queue_depth": self.store.queue_depth(),
+            "lanes": len(self.scheduler.lanes),
+            "lanes_busy": self.scheduler.busy,
+            "workers": self.total_workers,
         }
+
+    def retry_after_hint(self) -> int:
+        """Seconds until the admission queue plausibly has a slot.
+
+        Queue depth times the mean settled-job wall time, divided
+        across the lanes; 5 s when no job has settled yet.  A hint,
+        not a promise — clamped to [1 s, 600 s].
+        """
+        mean_wall = self.metrics.mean_wall_s()
+        if mean_wall is None:
+            return 5
+        depth = self.store.queue_depth()
+        estimate = mean_wall * max(depth, 1) / len(self.scheduler.lanes)
+        return max(1, min(600, int(estimate + 0.5)))
+
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` Prometheus-text exposition."""
+        return self.metrics.render(
+            jobs_by_status=self._jobs_by_status(),
+            queue_depth=self.store.queue_depth(),
+            lanes_busy=self.scheduler.busy,
+            lanes_total=len(self.scheduler.lanes),
+            pools=[
+                (index, pool.workers, pool.in_flight)
+                for index, pool in enumerate(self.pools)
+            ],
+        )
 
     def render_report(self, job: Job) -> str:
         """The job dashboard: final result if done, live prefix else."""
@@ -401,14 +529,24 @@ class ServeApp:
         rows = []
         for job in self.store.list_jobs():
             summary = job.to_summary()
+            # Everything interpolated here originates from a request
+            # payload or the state dir (recovered records can carry
+            # arbitrary ids and spec values) — escape it all, not just
+            # the fields that look dangerous today.
+            esc = {
+                key: html.escape(str(summary[key]), quote=True)
+                for key in (
+                    "id", "status", "shards_done", "shards_total", "sessions",
+                )
+            }
             rows.append(
                 "<tr>"
-                f'<td><a href="/jobs/{summary["id"]}">{summary["id"]}</a></td>'
-                f"<td>{html.escape(summary['status'])}</td>"
-                f"<td>{summary['shards_done']}/{summary['shards_total']}</td>"
-                f"<td>{summary['sessions']}</td>"
-                f'<td><a href="/jobs/{summary["id"]}/report">report</a> · '
-                f'<a href="/jobs/{summary["id"]}/events">events</a></td>'
+                f'<td><a href="/jobs/{esc["id"]}">{esc["id"]}</a></td>'
+                f"<td>{esc['status']}</td>"
+                f"<td>{esc['shards_done']}/{esc['shards_total']}</td>"
+                f"<td>{esc['sessions']}</td>"
+                f'<td><a href="/jobs/{esc["id"]}/report">report</a> · '
+                f'<a href="/jobs/{esc["id"]}/events">events</a></td>'
                 "</tr>"
             )
         body = (
@@ -426,7 +564,15 @@ class ServeApp:
 
 
 def main_serve(
-    host: str, port: int, state_dir: str, workers: int, quiet: bool = False
+    host: str,
+    port: int,
+    state_dir: str,
+    workers: int,
+    max_concurrent_jobs: int = 1,
+    max_queued_jobs: Optional[int] = None,
+    retain_jobs: Optional[int] = None,
+    retain_age_s: Optional[float] = None,
+    quiet: bool = False,
 ) -> int:
     """CLI entry: build the app (startup errors raise one-line
     :class:`EvaluationError`), then serve until signalled."""
@@ -436,6 +582,10 @@ def main_serve(
         port=port,
         state_dir=state_dir,
         workers=workers,
+        max_concurrent_jobs=max_concurrent_jobs,
+        max_queued_jobs=max_queued_jobs,
+        retain_jobs=retain_jobs,
+        retain_age_s=retain_age_s,
         inject_crash=json.loads(inject) if inject else None,
         quiet=quiet,
     )

@@ -77,6 +77,13 @@ def iter_events(lines: Iterable[str]) -> Iterator[ServerEvent]:
     event, ``data`` buffers accumulate joined by newline, the last
     newline of the buffer is stripped, comment lines (leading ``:``)
     are ignored, and events with an empty data buffer are dropped.
+
+    Two fields outlive a dispatch, exactly as in the spec: the
+    *last-event-id* buffer persists until a new ``id`` line replaces
+    it, and ``retry`` sets the stream-wide reconnection time the
+    moment its line is processed — so a standalone ``retry: N`` frame
+    (no data, hence no dispatched event) still reaches the client, as
+    the ``retry`` attribute of every subsequently dispatched event.
     """
     data_lines: list[str] = []
     event_name: Optional[str] = None
@@ -94,7 +101,6 @@ def iter_events(lines: Iterable[str]) -> Iterator[ServerEvent]:
                 )
             data_lines = []
             event_name = None
-            retry = None
             continue
         if line.startswith(":"):
             continue  # comment / keep-alive

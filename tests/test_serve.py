@@ -1,5 +1,7 @@
 """Tests for the serve daemon: SSE framing, job store, HTTP API,
-cancellation, and restart/resume byte-parity with the batch CLI."""
+scheduling (priorities, concurrency, backpressure), retention GC,
+metrics, cancellation, and restart/resume byte-parity with the batch
+CLI."""
 
 import json
 import os
@@ -14,9 +16,12 @@ import pytest
 from repro.errors import EvaluationError
 from repro.fleet import Fleet
 from repro.serve import (
+    Job,
     JobStore,
+    QueueFull,
     ServeApp,
     build_fleet_spec,
+    clamp_cursor,
     encode_event,
     iter_events,
     merge_partials,
@@ -83,6 +88,28 @@ class TestSSE:
         ids = [e.id for e in iter_events(wire.split("\n"))]
         assert ids == ["1", "2", "3"]
 
+    def test_retry_is_stream_wide(self):
+        # A standalone `retry:` frame carries no data, so it dispatches
+        # no event — but per the EventSource spec it sets the stream's
+        # reconnection time the moment the line is processed, and that
+        # time sticks for every later event.  (Regression: the parser
+        # used to reset retry after each dispatch, so the daemon's
+        # leading retry frame was silently dropped.)
+        stream = ["retry: 2000", "", "data: a", "", "data: b", ""]
+        events = list(iter_events(stream))
+        assert [e.data for e in events] == ["a", "b"]
+        assert [e.retry for e in events] == [2000, 2000]
+
+    def test_retry_can_be_updated_mid_stream(self):
+        stream = ["retry: 1000", "data: a", "", "retry: 9000", "data: b", ""]
+        assert [e.retry for e in iter_events(stream)] == [1000, 9000]
+
+    def test_last_event_id_persists_across_dispatches(self):
+        # The last-event-id buffer is NOT reset per event: an event
+        # without its own `id:` line inherits the previous one.
+        stream = ["id: 5", "data: a", "", "data: b", ""]
+        assert [e.id for e in iter_events(stream)] == ["5", "5"]
+
 
 # ----------------------------------------------------------------------
 # Payload schema
@@ -124,6 +151,27 @@ class TestNormalizePayload:
         spec = build_fleet_spec(canonical)
         assert spec.sessions == 8
         assert spec.fingerprint() == build_fleet_spec(canonical).fingerprint()
+
+    def test_priority_defaults_to_zero(self):
+        assert normalize_job_payload({})["priority"] == 0
+        assert normalize_job_payload({"priority": 7})["priority"] == 7
+
+    def test_priority_must_be_int_in_range(self):
+        with pytest.raises(EvaluationError, match="integer"):
+            normalize_job_payload({"priority": 1.5})
+        with pytest.raises(EvaluationError, match="priority"):
+            normalize_job_payload({"priority": 99})
+        with pytest.raises(EvaluationError, match="priority"):
+            normalize_job_payload({"priority": -99})
+
+    def test_priority_never_reaches_the_fleet_spec(self):
+        # Priority orders execution; it must not change results, so it
+        # cannot influence the spec or its resume fingerprint.
+        base = build_fleet_spec(normalize_job_payload(dict(FAST_JOB)))
+        hot = build_fleet_spec(
+            normalize_job_payload(dict(FAST_JOB, priority=10))
+        )
+        assert hot.fingerprint() == base.fingerprint()
 
 
 # ----------------------------------------------------------------------
@@ -234,6 +282,114 @@ class TestJobStore:
         (recovered,) = fresh.recover()
         assert recovered.status == "cancelled"
         assert fresh.claim_next() is None
+
+    def test_claim_order_respects_priority_then_admission(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        low = store.submit(dict(FAST_JOB))
+        high = store.submit(dict(FAST_JOB, priority=5))
+        mid = store.submit(dict(FAST_JOB, priority=1))
+        tied = store.submit(dict(FAST_JOB, priority=5))
+        order = [store.claim_next().id for _ in range(4)]
+        assert order == [high.id, tied.id, mid.id, low.id]
+
+    def test_queue_bound_rejects_then_frees(self, tmp_path):
+        store = JobStore(str(tmp_path), max_queued=2)
+        store.submit(dict(FAST_JOB))
+        store.submit(dict(FAST_JOB))
+        with pytest.raises(QueueFull):
+            store.submit(dict(FAST_JOB))
+        # A rejected submission leaves no trace in the state dir.
+        assert len(list(tmp_path.glob("*.job.json"))) == 2
+        # Claiming (queued -> running) frees an admission slot.
+        store.claim_next()
+        store.submit(dict(FAST_JOB))
+
+    def test_recover_is_exempt_from_queue_bound(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        for _ in range(3):
+            store.submit(dict(FAST_JOB))
+        fresh = JobStore(str(tmp_path), max_queued=1)
+        assert len(fresh.recover()) == 3
+        assert fresh.queue_depth() == 3
+
+
+# ----------------------------------------------------------------------
+# Retention GC
+# ----------------------------------------------------------------------
+class TestRetention:
+    def settle_three(self, tmp_path):
+        """Three cancelled (settled) jobs with staged settle times."""
+        store = JobStore(str(tmp_path))
+        jobs = [store.submit(dict(FAST_JOB)) for _ in range(3)]
+        for job in jobs:
+            store.cancel(job.id)
+        for job, settled_at in zip(jobs, (100.0, 200.0, 300.0)):
+            job.settled_at = settled_at
+        return store, jobs
+
+    def test_retain_jobs_keeps_newest_settled(self, tmp_path):
+        store, jobs = self.settle_three(tmp_path)
+        pruned = store.prune(retain_jobs=1)
+        assert sorted(pruned) == sorted([jobs[0].id, jobs[1].id])
+        assert store.get(jobs[2].id) is not None
+        assert os.path.exists(store.job_path(jobs[2].id))
+        for doomed in (jobs[0], jobs[1]):
+            assert store.get(doomed.id) is None
+            assert not os.path.exists(store.job_path(doomed.id))
+
+    def test_retain_age_prunes_old_settles(self, tmp_path):
+        store, jobs = self.settle_three(tmp_path)
+        pruned = store.prune(retain_age_s=750.0, now=1000.0)
+        # ages are 900 / 800 / 700 s: only the first two exceed 750.
+        assert sorted(pruned) == sorted([jobs[0].id, jobs[1].id])
+        assert store.get(jobs[2].id) is not None
+
+    def test_no_policy_means_no_pruning(self, tmp_path):
+        store, jobs = self.settle_three(tmp_path)
+        assert store.prune() == []
+        assert len(store.list_jobs()) == 3
+
+    def test_prune_never_touches_unsettled_jobs(self, tmp_path):
+        # The property the checkpoint journals depend on: even the most
+        # aggressive policy only ever considers settled jobs, so a
+        # queued or running job's ckpt file can never be GC'd away.
+        store = JobStore(str(tmp_path))
+        running = store.submit(dict(FAST_JOB))
+        assert store.claim_next() is running
+        queued = store.submit(dict(FAST_JOB))
+        done = store.submit(dict(FAST_JOB))
+        store.cancel(done.id)
+        for job in (running, queued):
+            with open(store.checkpoint_path(job.id), "w") as handle:
+                handle.write("journal\n")
+        pruned = store.prune(retain_jobs=0, retain_age_s=0.0)
+        assert pruned == [done.id]
+        for job in (running, queued):
+            assert store.get(job.id) is not None
+            assert os.path.exists(store.checkpoint_path(job.id))
+            assert os.path.exists(store.job_path(job.id))
+        assert not os.path.exists(store.job_path(done.id))
+
+    def test_daemon_gc_runs_after_settle(self, tmp_path):
+        app = ServeApp(
+            host="127.0.0.1", port=0, state_dir=str(tmp_path / "state"),
+            workers=2, retain_jobs=0, quiet=True,
+        ).start()
+        try:
+            _, detail = http_json("POST", app.url + "/jobs", FAST_JOB)
+            events = sse_until_terminal(
+                app.url + f"/jobs/{detail['id']}/events"
+            )
+            assert events[-1].event == "result"
+            assert events[-1].data == batch_json(FAST_JOB)
+            # retain_jobs=0 retains nothing: the settled job is pruned
+            # right after its terminal event is published.
+            assert wait_for(lambda: app.store.get(detail["id"]) is None)
+            assert not os.path.exists(app.store.job_path(detail["id"]))
+            assert not os.path.exists(app.store.result_path(detail["id"]))
+            assert not os.path.exists(app.store.checkpoint_path(detail["id"]))
+        finally:
+            app.stop()
 
 
 # ----------------------------------------------------------------------
@@ -358,6 +514,290 @@ class TestServeHTTP:
         assert status == 409 and "already done" in body["error"]
 
 
+# ----------------------------------------------------------------------
+# Backpressure: bounded admission queue -> 429 + Retry-After
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_queue_full_returns_429_with_retry_after(self, tmp_path):
+        # One lane, one queue slot; every shard hangs, so the first job
+        # occupies the lane and the second fills the queue for good.
+        app = ServeApp(
+            host="127.0.0.1", port=0, state_dir=str(tmp_path / "state"),
+            workers=1, max_concurrent_jobs=1, max_queued_jobs=1, quiet=True,
+            inject_crash={"shard": [0, 1, 2, 3], "attempts": 99,
+                          "mode": "sleep", "sleep_s": 300.0},
+        ).start()
+        try:
+            _, first = http_json("POST", app.url + "/jobs", FAST_JOB)
+            assert wait_for(
+                lambda: app.store.get(first["id"]).status == "running"
+            )
+            status, _ = http_json("POST", app.url + "/jobs", FAST_JOB)
+            assert status == 201
+            assert app.store.queue_depth() == 1
+
+            request = urllib.request.Request(
+                app.url + "/jobs", data=json.dumps(FAST_JOB).encode(),
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            response = excinfo.value
+            assert response.code == 429
+            assert int(response.headers["Retry-After"]) >= 1
+            body = json.load(response)
+            assert "queue is full" in body["error"]
+            assert body["retry_after_s"] == int(response.headers["Retry-After"])
+
+            # The rejection is counted; nothing was persisted for it.
+            with urllib.request.urlopen(app.url + "/metrics") as resp:
+                scrape = resp.read().decode("utf-8")
+            assert "repro_serve_jobs_rejected_total 1" in scrape
+            assert len(list((tmp_path / "state").glob("*.job.json"))) == 2
+        finally:
+            app.stop()
+
+
+# ----------------------------------------------------------------------
+# GET /metrics exposition
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_scrape_after_one_done_job(self, app):
+        _, detail = http_json("POST", app.url + "/jobs", FAST_JOB)
+        sse_until_terminal(app.url + f"/jobs/{detail['id']}/events")
+        with urllib.request.urlopen(app.url + "/metrics") as resp:
+            content_type = resp.headers["Content-Type"]
+            text = resp.read().decode("utf-8")
+        assert content_type.startswith("text/plain; version=0.0.4")
+        lines = text.splitlines()
+        assert "# TYPE repro_serve_jobs gauge" in lines
+        assert 'repro_serve_jobs{status="done"} 1' in lines
+        assert "repro_serve_queue_depth 0" in lines
+        assert "repro_serve_jobs_submitted_total 1" in lines
+        assert "repro_serve_jobs_rejected_total 0" in lines
+        assert 'repro_serve_jobs_settled_total{status="done"} 1' in lines
+        assert "repro_serve_shards_completed_total 4" in lines
+        assert "repro_serve_sessions_completed_total 8" in lines
+        assert 'repro_serve_pool_workers{lane="0"} 2' in lines
+        assert "repro_serve_job_wall_seconds_count 1" in lines
+        assert 'repro_serve_job_wall_seconds_bucket{le="+Inf"} 1' in lines
+
+    def test_every_sample_belongs_to_a_declared_family(self, app):
+        _, detail = http_json("POST", app.url + "/jobs", FAST_JOB)
+        sse_until_terminal(app.url + f"/jobs/{detail['id']}/events")
+        with urllib.request.urlopen(app.url + "/metrics") as resp:
+            lines = resp.read().decode("utf-8").splitlines()
+        families = {
+            line.split()[2]: line.split()[3]
+            for line in lines
+            if line.startswith("# TYPE ")
+        }
+        assert families, "no # TYPE lines in scrape"
+        for line in lines:
+            if not line or line.startswith("#"):
+                continue
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            base = name
+            # Histogram samples use the family name plus a suffix.
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in families:
+                    base = name[: -len(suffix)]
+            assert base in families, f"undeclared sample {name!r}"
+            if base != name:
+                assert families[base] == "histogram"
+
+    def test_sse_subscriber_gauge_tracks_open_streams(self, tmp_path):
+        app = ServeApp(
+            host="127.0.0.1", port=0, state_dir=str(tmp_path / "state"),
+            workers=1, quiet=True,
+            inject_crash={"shard": [0, 1, 2, 3], "attempts": 99,
+                          "mode": "sleep", "sleep_s": 300.0},
+        ).start()
+        try:
+            _, detail = http_json("POST", app.url + "/jobs", FAST_JOB)
+            terminal = []
+            consumer = threading.Thread(
+                target=lambda: terminal.extend(
+                    sse_until_terminal(
+                        app.url + f"/jobs/{detail['id']}/events", timeout=30
+                    )[-1:]
+                ),
+                daemon=True,
+            )
+            consumer.start()
+            assert wait_for(lambda: app.metrics.sse_subscribers == 1)
+            # Terminal event ends the stream server-side; the gauge
+            # must drain with it.
+            http_json("DELETE", app.url + f"/jobs/{detail['id']}")
+            consumer.join(timeout=30)
+            assert terminal and terminal[0].event == "cancelled"
+            assert wait_for(lambda: app.metrics.sse_subscribers == 0)
+        finally:
+            app.stop()
+
+
+# ----------------------------------------------------------------------
+# Concurrent jobs: N lanes, byte-parity with the batch CLI
+# ----------------------------------------------------------------------
+class TestConcurrentJobs:
+    def test_three_concurrent_jobs_are_byte_identical_to_batch(self, tmp_path):
+        app = ServeApp(
+            host="127.0.0.1", port=0, state_dir=str(tmp_path / "state"),
+            workers=3, max_concurrent_jobs=3, quiet=True,
+        ).start()
+        try:
+            assert len(app.scheduler.lanes) == 3
+            assert [pool.workers for pool in app.pools] == [1, 1, 1]
+            specs = [dict(FAST_JOB, seed=seed) for seed in (11, 23, 37)]
+            ids = []
+            for spec in specs:
+                status, detail = http_json("POST", app.url + "/jobs", spec)
+                assert status == 201
+                ids.append(detail["id"])
+            for spec, job_id in zip(specs, ids):
+                events = sse_until_terminal(
+                    app.url + f"/jobs/{job_id}/events"
+                )
+                assert events[-1].event == "result"
+                assert events[-1].data == batch_json(spec)
+            _, health = http_json("GET", app.url + "/healthz")
+            assert health["jobs"] == {"done": 3}
+            assert health["lanes"] == 3
+        finally:
+            app.stop()
+
+    def test_two_inflight_jobs_resume_after_restart(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        specs = [dict(FAST_JOB, seed=5), dict(FAST_JOB, seed=6)]
+        # Life 1: two lanes, both jobs hang on shard 3 after real
+        # progress; SIGTERM-style stop drains both mid-flight.
+        first_life = ServeApp(
+            host="127.0.0.1", port=0, state_dir=state_dir,
+            workers=2, max_concurrent_jobs=2, quiet=True,
+            inject_crash={"shard": 3, "attempts": 99,
+                          "mode": "sleep", "sleep_s": 300.0},
+        ).start()
+        ids = []
+        for spec in specs:
+            _, detail = http_json("POST", first_life.url + "/jobs", spec)
+            ids.append(detail["id"])
+        jobs = [first_life.store.get(job_id) for job_id in ids]
+        assert wait_for(lambda: all(job.shards_done >= 2 for job in jobs))
+        first_life.stop()
+        for job_id in ids:
+            record = json.loads(
+                open(os.path.join(state_dir, f"{job_id}.job.json")).read()
+            )
+            assert record["status"] == "queued"
+            assert os.path.exists(os.path.join(state_dir, f"{job_id}.ckpt"))
+
+        # Life 2: no fault injection; both jobs must resume from their
+        # journals and finish byte-identically to the batch CLI.
+        second_life = ServeApp(
+            host="127.0.0.1", port=0, state_dir=state_dir,
+            workers=2, max_concurrent_jobs=2, quiet=True,
+        ).start()
+        try:
+            for spec, job_id in zip(specs, ids):
+                events = sse_until_terminal(
+                    second_life.url + f"/jobs/{job_id}/events"
+                )
+                assert events[-1].event == "result"
+                assert events[-1].data == batch_json(spec)
+                assert second_life.store.get(job_id).resumed_shards >= 2
+        finally:
+            second_life.stop()
+
+
+# ----------------------------------------------------------------------
+# Last-Event-ID handling: clamping and the compaction snapshot
+# ----------------------------------------------------------------------
+class TestCursorClamp:
+    def test_clamp_cursor_values(self):
+        assert clamp_cursor(None, 10) == 0
+        assert clamp_cursor("", 10) == 0
+        assert clamp_cursor("junk", 10) == 0
+        assert clamp_cursor("-5", 10) == 0
+        assert clamp_cursor("7", 10) == 7
+        assert clamp_cursor("10", 10) == 10
+        assert clamp_cursor("999999999999", 10) == 10
+
+    def test_negative_cursor_replays_from_start(self, app):
+        _, detail = http_json("POST", app.url + "/jobs", FAST_JOB)
+        job_id = detail["id"]
+        first = sse_until_terminal(app.url + f"/jobs/{job_id}/events")
+        replayed = sse_until_terminal(
+            app.url + f"/jobs/{job_id}/events",
+            headers={"Last-Event-ID": "-12"},
+        )
+        # Clamped to 0 on an intact log: full replay, no snapshot.
+        assert [e.event for e in replayed] == ["update"] * 4 + ["result"]
+        assert replayed[-1].data == first[-1].data
+
+    def test_beyond_log_cursor_ends_instead_of_hanging(self, app):
+        # Regression: an unclamped beyond-the-log cursor made the
+        # stream wait for events that can never exist.
+        _, detail = http_json("POST", app.url + "/jobs", FAST_JOB)
+        job_id = detail["id"]
+        sse_until_terminal(app.url + f"/jobs/{job_id}/events")
+        events = sse_until_terminal(
+            app.url + f"/jobs/{job_id}/events",
+            headers={"Last-Event-ID": "999999"},
+            timeout=10,
+        )
+        assert events == []
+
+    def test_reconnect_after_compaction_gets_snapshot(self, app):
+        from repro.serve.jobs import EVENT_WINDOW
+
+        _, detail = http_json("POST", app.url + "/jobs", FAST_JOB)
+        job_id = detail["id"]
+        first = sse_until_terminal(app.url + f"/jobs/{job_id}/events")
+        early_cursor = first[1].id  # a real event id, soon compacted
+
+        # Slide the replay window until the early events are gone.
+        job = app.store.get(job_id)
+        for _ in range(EVENT_WINDOW + 8):
+            job.publish("update", "{}")
+
+        replayed = sse_until_terminal(
+            app.url + f"/jobs/{job_id}/events",
+            headers={"Last-Event-ID": early_cursor},
+            timeout=10,
+        )
+        # Everything missed is summarised by one snapshot; its body is
+        # the full progress document, aggregate included.
+        assert replayed[0].event == "snapshot"
+        snapshot = json.loads(replayed[0].data)
+        assert snapshot["shards_done"] == 4
+        assert snapshot["sessions_completed"] == 8
+
+
+# ----------------------------------------------------------------------
+# HTML escaping of request- and state-dir-originated values
+# ----------------------------------------------------------------------
+class TestHtmlEscaping:
+    def inject_job(self, app, job_id):
+        """Plant a job with a hostile id, as a recovered state dir
+        could (ids on disk are not constrained to the daemon format)."""
+        job = Job(job_id, normalize_job_payload(dict(FAST_JOB)))
+        with app.store._lock:
+            app.store._jobs[job.id] = job
+        return job
+
+    def test_index_escapes_job_fields(self, app):
+        self.inject_job(app, '<script>alert(1)</script>')
+        page = app.render_index()
+        assert "<script>" not in page
+        assert "&lt;script&gt;alert(1)&lt;/script&gt;" in page
+
+    def test_report_escapes_job_id_in_title(self, app):
+        job = self.inject_job(app, '"><img src=x onerror=alert(1)>')
+        page = app.render_report(job)
+        assert "<img src=x" not in page
+        assert "&lt;img" in page
+
+
 class TestCancellation:
     def test_cancel_mid_run_settles_cancelled(self, tmp_path):
         # Shard 0 completes; shards 1..3 hang far past the test horizon,
@@ -477,5 +917,32 @@ class TestDriverHooks:
             second = Fleet(spec, jobs=2, pool=pool).run()
             assert pool.executor is executor  # clean runs never rebuild
             assert first.to_json() == second.to_json()
+        finally:
+            pool.shutdown()
+
+    def test_pool_submit_tracks_in_flight(self):
+        from repro.fleet import WorkerPool
+        from repro.sim.random import derive_seed
+
+        pool = WorkerPool(2)
+        try:
+            futures = [pool.submit(derive_seed, 1, str(i)) for i in range(6)]
+            for future in futures:
+                future.result(timeout=30)
+            # Done-callbacks fire just after result() returns; the
+            # gauge must drain back to zero, never below.
+            assert wait_for(lambda: pool.in_flight == 0)
+            assert pool.in_flight == 0
+        finally:
+            pool.shutdown()
+
+    def test_fleet_run_settles_pool_in_flight(self):
+        from repro.fleet import WorkerPool
+
+        spec = build_fleet_spec(normalize_job_payload(dict(FAST_JOB)))
+        pool = WorkerPool(2)
+        try:
+            Fleet(spec, jobs=2, pool=pool).run()
+            assert wait_for(lambda: pool.in_flight == 0)
         finally:
             pool.shutdown()
