@@ -1,0 +1,75 @@
+"""Regenerate the differential-parity golden fingerprints.
+
+Runs every (application x builtin governor x trace level) cell through
+the *scalar* engine and records a SHA-256 over the canonical JSON of
+the :func:`repro.evaluation.runner.run_workload_job` result.  The
+differential suite (``tests/differential/test_batch_parity.py``)
+asserts both the scalar and the batched engine reproduce these bytes.
+
+Run from the repo root after any intentional result-affecting change::
+
+    PYTHONPATH=src python scripts/gen_parity_fingerprints.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.evaluation.runner import GOVERNORS, run_workload_job  # noqa: E402
+from repro.workloads.registry import APP_NAMES  # noqa: E402
+
+OUT = os.path.join(os.path.dirname(__file__), "..", "tests", "data",
+                   "batch_parity_fingerprints.json")
+
+#: The sweep's fixed workload knobs (mirrored by the parity test).
+TRACE_KIND = "micro"
+SEED = 0
+SETTLE_S = 4.0
+TRACE_LEVELS = ("full", "gated")
+
+
+def job_fingerprint(result: dict) -> str:
+    """Canonical-JSON SHA-256 of one session result."""
+    import hashlib
+
+    blob = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def main() -> int:
+    cells = {}
+    for app in APP_NAMES:
+        for governor in GOVERNORS:
+            for level in TRACE_LEVELS:
+                result = run_workload_job({
+                    "app": app,
+                    "governor": governor,
+                    "trace_kind": TRACE_KIND,
+                    "seed": SEED,
+                    "settle_s": SETTLE_S,
+                    "trace_level": level,
+                })
+                cells[f"{app}:{governor}:{level}"] = job_fingerprint(result)
+                print(f"{app}:{governor}:{level}", cells[f"{app}:{governor}:{level}"][:16])
+    payload = {
+        "workload": {
+            "trace_kind": TRACE_KIND,
+            "seed": SEED,
+            "settle_s": SETTLE_S,
+            "scenario": "imperceptible",
+        },
+        "cells": cells,
+    }
+    with open(OUT, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {OUT} ({len(cells)} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,12 @@ root input event — the transitive closure of Sec. 6.4.
 """
 
 from repro.browser.engine import Browser, BrowserPolicy
-from repro.browser.frame_tracker import FrameRecord, FrameTracker, InputRecord
+from repro.browser.frame_tracker import (
+    FrameColumns,
+    FrameRecord,
+    FrameTracker,
+    InputRecord,
+)
 from repro.browser.messages import InputMsg
 from repro.browser.page import Page
 from repro.browser.stages import PipelineStage, RenderCostModel
@@ -32,6 +37,7 @@ __all__ = [
     "Page",
     "InputMsg",
     "FrameTracker",
+    "FrameColumns",
     "FrameRecord",
     "InputRecord",
     "PipelineStage",

@@ -23,6 +23,7 @@ from repro.browser.page import Page
 from repro.browser.stages import MAIN_THREAD_RENDER_STAGES, PipelineStage
 from repro.browser.vsync import VSYNC_PERIOD_US, VsyncSource
 from repro.hardware.core import WorkUnit
+from repro.hardware.execution import _ZERO_WORK
 from repro.hardware.platform import MobilePlatform
 from repro.sim.clock import ms_to_us
 from repro.web.css.transitions import parse_animation_value, transition_for
@@ -474,7 +475,7 @@ class Browser:
 
         # Barrier: render stages begin only after every rAF callback
         # (and its effects) has executed on the main thread.
-        self.main.submit(WorkUnit(0.0, 0.0), on_complete=self._begin_render, label="begin-frame")
+        self.main.submit(_ZERO_WORK, on_complete=self._begin_render, label="begin-frame")
 
     def _tick_animations(self, now: int) -> None:
         survivors: list[_ActiveAnimation] = []

@@ -19,6 +19,7 @@ benchmarks profiles both clusters independently instead.)
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 from repro.errors import RuntimeModelError
@@ -93,13 +94,34 @@ def fit_dvfs_model(
 
 
 class ClusterModelSet:
-    """Per-cluster Eq. 1 coefficients for one annotated event key."""
+    """Per-cluster Eq. 1 coefficients for one annotated event key.
+
+    Every mutation goes through :meth:`set`, which bumps a version
+    counter; together with a process-unique instance id this gives the
+    predictor a cheap, exact memoization key — ``(uid, version)``
+    changes if and only if the model contents may have changed.
+    """
+
+    _uid_counter = itertools.count()
 
     def __init__(self) -> None:
         self._models: dict[str, PerfModelCoefficients] = {}
+        self._uid = next(ClusterModelSet._uid_counter)
+        self._version = 0
+
+    @property
+    def uid(self) -> int:
+        """Process-unique instance id (never reused, unlike ``id()``)."""
+        return self._uid
+
+    @property
+    def version(self) -> int:
+        """Bumped on every :meth:`set`; constant content between bumps."""
+        return self._version
 
     def set(self, cluster: str, model: PerfModelCoefficients) -> None:
         self._models[cluster] = model
+        self._version += 1
 
     def get(self, cluster: str) -> PerfModelCoefficients:
         try:

@@ -7,10 +7,28 @@ target with minimal energy."
 If no configuration meets the target, the fastest (minimum predicted
 latency) configuration is chosen — QoS is favoured over energy, the
 same conservative bias AutoGreen applies to its annotations (Sec. 5).
+
+Implementation notes
+--------------------
+The sweep runs on every prediction, so it is the runtime's hottest
+model code.  Three layers keep it cheap without changing a single
+result bit (the differential suite pins this):
+
+* the per-platform configuration table is precomputed
+  (:meth:`repro.core.energy_model.PowerTable.sweep_table`);
+* the sweep itself is vectorized with numpy when available, falling
+  back to a pure-Python loop with identical float semantics — set
+  ``REPRO_NO_NUMPY=1`` to force the fallback (elementwise float64
+  arithmetic is IEEE-identical either way, and ``argmin`` picks the
+  first minimum exactly like the loop's strict-``<`` comparisons);
+* predictions are memoized on ``(model uid, model version, target)``,
+  which changes precisely when the inputs may have (see
+  :class:`~repro.core.perf_model.ClusterModelSet`).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -18,6 +36,18 @@ from repro.errors import RuntimeModelError
 from repro.core.energy_model import PowerTable
 from repro.core.perf_model import ClusterModelSet
 from repro.hardware.dvfs import CpuConfig
+
+if os.environ.get("REPRO_NO_NUMPY"):
+    _np = None
+else:
+    try:
+        import numpy as _np
+    except ImportError:  # pragma: no cover - image always has numpy
+        _np = None
+
+#: memo entries kept per predictor before the table resets (predictors
+#: are per-session; this only bounds pathological target churn)
+_MEMO_LIMIT = 8192
 
 
 @dataclass(frozen=True)
@@ -35,12 +65,24 @@ class ConfigPredictor:
 
     def __init__(self, power_table: PowerTable) -> None:
         self._power = power_table
-        # The sweep below runs on every prediction; pre-pair each
-        # config with its busy power so the hot loop is lookup-free.
-        self._sweep: list[tuple[CpuConfig, float]] = [
-            (config, power_table.busy_power_w(config))
-            for config in power_table.configs()
-        ]
+        table = power_table.sweep_table()
+        self._configs = table.configs
+        self._cluster_names = table.cluster_names
+        self._cluster_index = table.cluster_index
+        self._freqs_mhz = table.freqs_mhz
+        self._busy_power_w = table.busy_power_w
+        # Legacy attribute: the pre-paired (config, busy power) sweep a
+        # few ablation tests introspect.
+        self._sweep: list[tuple[CpuConfig, float]] = list(
+            zip(table.configs, table.busy_power_w)
+        )
+        if _np is not None:
+            self._np_freqs = _np.asarray(table.freqs_mhz, dtype=_np.float64)
+            self._np_busy = _np.asarray(table.busy_power_w, dtype=_np.float64)
+            self._np_cluster_index = _np.asarray(table.cluster_index, dtype=_np.intp)
+        else:
+            self._np_freqs = None
+        self._memo: dict = {}
 
     def predict(
         self, models: ClusterModelSet, target_ms: float
@@ -61,24 +103,73 @@ class ConfigPredictor:
         """
         if target_ms <= 0:
             raise RuntimeModelError(f"non-positive QoS target: {target_ms} ms")
+        memo = self._memo
+        key = (models._uid, models._version, target_ms)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+
         target_us = target_ms * 1_000.0
-        best: Optional[tuple[CpuConfig, float, float]] = None
-        fastest: Optional[tuple[CpuConfig, float, float]] = None
-        for config, busy_power_w in self._sweep:
-            model = models.get_or_none(config.cluster)
+        coeffs = [models.get_or_none(name) for name in self._cluster_names]
+        if self._np_freqs is not None and None not in coeffs:
+            prediction = self._predict_numpy(coeffs, target_us)
+        else:
+            prediction = self._predict_python(coeffs, target_us)
+
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
+        memo[key] = prediction
+        return prediction
+
+    def _predict_numpy(self, coeffs: list, target_us: float) -> Prediction:
+        """Vectorized sweep; float semantics identical to the loop (see
+        module docstring)."""
+        index = self._np_cluster_index
+        t_independent = _np.asarray(
+            [c.t_independent_us for c in coeffs], dtype=_np.float64
+        )[index]
+        n_cycles = _np.asarray(
+            [c.n_cycles for c in coeffs], dtype=_np.float64
+        )[index]
+        # Same arithmetic (and float association order) as
+        # ClusterModelSet.predict_us / PowerTable.frame_energy_j.
+        latency = t_independent + n_cycles / self._np_freqs
+        energy = self._np_busy * latency * 1e-6
+        meets = latency <= target_us
+        if meets.any():
+            chosen = int(_np.where(meets, energy, _np.inf).argmin())
+            return Prediction(
+                self._configs[chosen], float(latency[chosen]),
+                float(energy[chosen]), True,
+            )
+        chosen = int(latency.argmin())
+        return Prediction(
+            self._configs[chosen], float(latency[chosen]),
+            float(energy[chosen]), False,
+        )
+
+    def _predict_python(self, coeffs: list, target_us: float) -> Prediction:
+        configs = self._configs
+        cluster_index = self._cluster_index
+        freqs = self._freqs_mhz
+        busy_powers = self._busy_power_w
+        best: Optional[tuple[int, float, float]] = None
+        fastest: Optional[tuple[int, float, float]] = None
+        for i in range(len(configs)):
+            model = coeffs[cluster_index[i]]
             if model is None:
                 continue
             # Same arithmetic (and float association order) as
             # ClusterModelSet.predict_us / PowerTable.frame_energy_j.
-            latency = model.t_independent_us + model.n_cycles / config.freq_mhz
-            energy = busy_power_w * latency * 1e-6
+            latency = model.t_independent_us + model.n_cycles / freqs[i]
+            energy = busy_powers[i] * latency * 1e-6
             if fastest is None or latency < fastest[1]:
-                fastest = (config, latency, energy)
+                fastest = (i, latency, energy)
             if latency <= target_us and (best is None or energy < best[2]):
-                best = (config, latency, energy)
+                best = (i, latency, energy)
         if fastest is None:
             raise RuntimeModelError(
                 "no configuration could be evaluated: missing cluster models"
             )
-        config, latency, energy = best if best is not None else fastest
-        return Prediction(config, latency, energy, latency <= target_us)
+        i, latency, energy = best if best is not None else fastest
+        return Prediction(configs[i], latency, energy, latency <= target_us)

@@ -1,0 +1,108 @@
+"""Batched session execution.
+
+:func:`run_workload_jobs_batched` is the batched twin of calling
+:func:`repro.evaluation.runner.run_workload_job` in a loop: it prepares
+every session world up front, advances all of their kernels through
+their measurement windows on one :class:`~repro.sim.batch.BatchRunner`
+frontier, then collects each result.  Sessions share no mutable state,
+and preparation/collection are the exact same code
+(:class:`~repro.evaluation.runner.SessionExecution`) the scalar engine
+runs, so results are byte-identical — a guarantee enforced by
+``tests/differential/``.
+
+Post-hoc policies (the oracle) replay pinned scalar runs internally and
+cannot be frontier-stepped; their jobs transparently fall back to the
+scalar path, in place, so callers never need to special-case them.
+
+The batch also amortizes interpreter overhead: after preparation the
+long-lived session worlds are moved to the garbage collector's
+permanent generation (``gc.freeze``), so the run's constant churn of
+short-lived events never drags them through gen-0 scans.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Optional, Sequence
+
+from repro.core.qos import UsageScenario
+from repro.evaluation.runner import (
+    SessionExecution,
+    run_result_to_dict,
+    run_workload_job,
+    resolve_spec,
+)
+from repro.policies import POLICIES
+from repro.sim.batch import DEFAULT_QUANTUM_US, BatchRunner
+
+
+def prepare_job(spec: dict) -> Optional[SessionExecution]:
+    """Build the prepared world for one job dict, or ``None`` when the
+    job's policy is post-hoc and must run through the scalar path.
+
+    Accepts the same keys as
+    :func:`repro.evaluation.runner.run_workload_job`.
+    """
+    policy_spec = resolve_spec(
+        spec.get("governor", "greenweb"), spec.get("runtime_kwargs")
+    )
+    if POLICIES.get(policy_spec.name).posthoc is not None:
+        return None
+    scenario = UsageScenario(spec.get("scenario", "imperceptible"))
+    return SessionExecution(
+        spec["app"],
+        policy_spec.label(),
+        scenario,
+        spec.get("trace_kind", "full"),
+        int(spec.get("seed", 0)),
+        float(spec.get("settle_s", 4.0)),
+        spec.get("trace_level", "full"),
+        lambda platform, registry: POLICIES.build(
+            policy_spec, platform, registry, scenario
+        ),
+    )
+
+
+def run_workload_jobs_batched(
+    jobs: Sequence[dict], quantum_us: int = DEFAULT_QUANTUM_US
+) -> list[dict]:
+    """Run a list of job dicts as one lockstep batch.
+
+    Args:
+        jobs: job dicts as accepted by
+            :func:`repro.evaluation.runner.run_workload_job`.
+        quantum_us: frontier lookahead slack, forwarded to
+            :class:`~repro.sim.batch.BatchRunner`.
+
+    Returns:
+        One result dict per job, in input order, byte-identical to the
+        scalar engine's output for the same job.
+    """
+    results: list[Optional[dict]] = [None] * len(jobs)
+    pending: list[tuple[int, SessionExecution]] = []
+
+    for index, spec in enumerate(jobs):
+        execution = prepare_job(spec)
+        if execution is None:
+            results[index] = run_workload_job(spec)
+        else:
+            pending.append((index, execution))
+
+    if pending:
+        runner = BatchRunner(
+            [execution.platform.kernel for _index, execution in pending],
+            quantum_us=quantum_us,
+        )
+        deadlines = [
+            execution.platform.kernel.now_us + execution.window_us
+            for _index, execution in pending
+        ]
+        gc.collect()
+        gc.freeze()
+        try:
+            runner.run_until(deadlines)
+        finally:
+            gc.unfreeze()
+        for index, execution in pending:
+            results[index] = run_result_to_dict(execution.finish())
+    return results

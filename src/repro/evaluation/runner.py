@@ -257,6 +257,142 @@ def run_workload(
     )
 
 
+class SessionExecution:
+    """One prepared measurement world, split so the scalar and batched
+    engines share every byte of setup and collection code.
+
+    ``__init__`` builds everything :func:`execute_run` used to build
+    before advancing the clock; :meth:`run_scalar` replays the window on
+    this session's own kernel; :meth:`finish` collects the
+    :class:`RunResult`.  The batched path
+    (:func:`repro.evaluation.batch.run_workload_jobs_batched`) skips
+    :meth:`run_scalar` and instead hands ``platform.kernel`` plus
+    ``window_us`` to a :class:`~repro.sim.batch.BatchRunner`, then calls
+    :meth:`finish` — the only difference is *which loop* advances the
+    kernel, which is why results are byte-identical (and why the
+    differential suite exists to keep them that way).
+    """
+
+    def __init__(
+        self,
+        app: str,
+        governor_label: str,
+        scenario: UsageScenario,
+        trace_kind: str,
+        seed: int,
+        settle_s: float,
+        trace_level: str,
+        policy_factory,
+    ) -> None:
+        self.app = app
+        self.governor_label = governor_label
+        self.scenario = scenario
+        self.trace_kind = trace_kind
+
+        bundle = build_app(app, seed)
+        trace = _resolve_trace(bundle, trace_kind)
+
+        self.platform = odroid_xu_e(
+            record_power_intervals=False, trace=TraceLog.for_level(trace_level)
+        )
+        registry = AnnotationRegistry.from_stylesheet(bundle.page.stylesheet)
+        self.policy = policy_factory(self.platform, registry)
+        self.browser = Browser(self.platform, bundle.page, policy=self.policy)
+        self._config_fold = ConfigTimelineFold().attach(self.platform.trace)
+        self._accountant = _ActiveWindowAccountant(self.platform)
+        driver = InteractionDriver(self.browser)
+
+        # Pre-resolve each trace event's QoS spec (annotation state is
+        # static); used for violation accounting under EVERY governor so
+        # comparisons judge identical targets.
+        self._ordered = trace.sorted_events()
+        specs: list[Optional[QoSSpec]] = []
+        for scripted in self._ordered:
+            target = (
+                bundle.page.document.get_element_by_id(scripted.target_id)
+                if scripted.target_id
+                else bundle.page.document.root
+            )
+            if target is None:
+                raise EvaluationError(
+                    f"trace {trace.name!r} targets missing element #{scripted.target_id}"
+                )
+            specs.append(registry.lookup(target, scripted.event_type))
+        self._specs = specs
+
+        driver.schedule(trace)
+        #: the fixed measurement window (trace duration + settle tail)
+        self.window_us = trace.duration_us + s_to_us(settle_s)
+
+    def run_scalar(self) -> None:
+        """Advance this session's own kernel through the window."""
+        self.platform.run_for(self.window_us)
+
+    def finish(self) -> RunResult:
+        """Collect metrics after the window has been executed (by either
+        engine); the kernel clock must already be at the deadline."""
+        platform = self.platform
+        browser = self.browser
+        platform.meter.finalize(platform.kernel.now_us)
+
+        records = browser.tracker.records
+        if len(records) != len(self._ordered):
+            raise EvaluationError(
+                f"dispatched {len(records)} inputs but trace has {len(self._ordered)}"
+            )
+        violations: list[Optional[float]] = []
+        for record, spec in zip(records, self._specs):
+            if spec is None:
+                violations.append(None)
+            else:
+                violations.append(event_violation_pct(record, spec, self.scenario))
+
+        # Residency comes from the streaming fold rather than a post-hoc
+        # trace scan, so a non-retaining ("gated") log yields the same
+        # numbers as "full" — see repro.evaluation.folds.
+        residency = self._config_fold.residency(
+            0, platform.kernel.now_us, initial=CpuConfig("big", 1800)
+        )
+        active_residency = self._config_fold.windowed(
+            self._accountant.windows, initial=CpuConfig("big", 1800)
+        )
+        runtime_stats = None
+        if isinstance(self.policy, GreenWebRuntime):
+            stats = self.policy.stats
+            runtime_stats = {
+                "inputs_seen": stats.inputs_seen,
+                "unannotated_inputs": stats.unannotated_inputs,
+                "predictions": stats.predictions,
+                "profiling_frames": stats.profiling_frames,
+                "violations_fed_back": stats.violations_fed_back,
+                "boosts_up": stats.boosts_up,
+                "boosts_down": stats.boosts_down,
+                "recalibrations": stats.recalibrations,
+                "idle_drops": stats.idle_drops,
+            }
+
+        return RunResult(
+            app=self.app,
+            governor=self.governor_label,
+            scenario=self.scenario,
+            trace_kind=self.trace_kind,
+            duration_s=platform.kernel.now_us / 1e6,
+            energy_j=platform.meter.total_j,
+            active_energy_j=self._accountant.active_energy_j,
+            active_time_s=self._accountant.active_time_us / 1e6,
+            frames=browser.stats.frames,
+            inputs=browser.stats.inputs,
+            skipped_vsyncs=browser.stats.skipped_vsyncs,
+            event_violations_pct=violations,
+            config_residency=residency,
+            active_config_residency=active_residency,
+            freq_switches=platform.dvfs.freq_switches,
+            migrations=platform.dvfs.migrations,
+            annotated_events=sum(1 for s in self._specs if s is not None),
+            runtime_stats=runtime_stats,
+        )
+
+
 def execute_run(
     app: str,
     governor_label: str,
@@ -273,97 +409,12 @@ def execute_run(
     metrics.  :func:`run_workload` is the spec-aware front door; the
     oracle calls this directly with its pinned-replay policies.
     """
-    bundle = build_app(app, seed)
-    trace = _resolve_trace(bundle, trace_kind)
-
-    platform = odroid_xu_e(
-        record_power_intervals=False, trace=TraceLog.for_level(trace_level)
+    execution = SessionExecution(
+        app, governor_label, scenario, trace_kind, seed, settle_s, trace_level,
+        policy_factory,
     )
-    registry = AnnotationRegistry.from_stylesheet(bundle.page.stylesheet)
-    policy = policy_factory(platform, registry)
-    browser = Browser(platform, bundle.page, policy=policy)
-    config_fold = ConfigTimelineFold().attach(platform.trace)
-    accountant = _ActiveWindowAccountant(platform)
-    driver = InteractionDriver(browser)
-
-    # Pre-resolve each trace event's QoS spec (annotation state is
-    # static); used for violation accounting under EVERY governor so
-    # comparisons judge identical targets.
-    ordered = trace.sorted_events()
-    specs: list[Optional[QoSSpec]] = []
-    for scripted in ordered:
-        target = (
-            bundle.page.document.get_element_by_id(scripted.target_id)
-            if scripted.target_id
-            else bundle.page.document.root
-        )
-        if target is None:
-            raise EvaluationError(
-                f"trace {trace.name!r} targets missing element #{scripted.target_id}"
-            )
-        specs.append(registry.lookup(target, scripted.event_type))
-
-    driver.schedule(trace)
-    window_us = trace.duration_us + s_to_us(settle_s)
-    platform.run_for(window_us)
-    platform.meter.finalize(platform.kernel.now_us)
-
-    records = browser.tracker.records
-    if len(records) != len(ordered):
-        raise EvaluationError(
-            f"dispatched {len(records)} inputs but trace has {len(ordered)}"
-        )
-    violations: list[Optional[float]] = []
-    for record, spec in zip(records, specs):
-        if spec is None:
-            violations.append(None)
-        else:
-            violations.append(event_violation_pct(record, spec, scenario))
-
-    # Residency comes from the streaming fold rather than a post-hoc
-    # trace scan, so a non-retaining ("gated") log yields the same
-    # numbers as "full" — see repro.evaluation.folds.
-    residency = config_fold.residency(
-        0, platform.kernel.now_us, initial=CpuConfig("big", 1800)
-    )
-    active_residency = config_fold.windowed(
-        accountant.windows, initial=CpuConfig("big", 1800)
-    )
-    runtime_stats = None
-    if isinstance(policy, GreenWebRuntime):
-        stats = policy.stats
-        runtime_stats = {
-            "inputs_seen": stats.inputs_seen,
-            "unannotated_inputs": stats.unannotated_inputs,
-            "predictions": stats.predictions,
-            "profiling_frames": stats.profiling_frames,
-            "violations_fed_back": stats.violations_fed_back,
-            "boosts_up": stats.boosts_up,
-            "boosts_down": stats.boosts_down,
-            "recalibrations": stats.recalibrations,
-            "idle_drops": stats.idle_drops,
-        }
-
-    return RunResult(
-        app=app,
-        governor=governor_label,
-        scenario=scenario,
-        trace_kind=trace_kind,
-        duration_s=platform.kernel.now_us / 1e6,
-        energy_j=platform.meter.total_j,
-        active_energy_j=accountant.active_energy_j,
-        active_time_s=accountant.active_time_us / 1e6,
-        frames=browser.stats.frames,
-        inputs=browser.stats.inputs,
-        skipped_vsyncs=browser.stats.skipped_vsyncs,
-        event_violations_pct=violations,
-        config_residency=residency,
-        active_config_residency=active_residency,
-        freq_switches=platform.dvfs.freq_switches,
-        migrations=platform.dvfs.migrations,
-        annotated_events=sum(1 for s in specs if s is not None),
-        runtime_stats=runtime_stats,
-    )
+    execution.run_scalar()
+    return execution.finish()
 
 
 def run_result_to_dict(result: RunResult) -> dict:

@@ -27,6 +27,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 CompletionCallback = Callable[["TaskHandle"], None]
 
+_ZERO_WORK = WorkUnit(0.0, 0.0)
+
 
 class TaskHandle:
     """Handle for a unit of work submitted to an execution context."""
@@ -116,7 +118,7 @@ class ExecutionContext:
         Zero-work tasks complete on the next kernel tick with zero
         duration (they still respect FIFO ordering).
         """
-        handle = TaskHandle(work, on_complete, label, self._platform.kernel.now_us)
+        handle = TaskHandle(work, on_complete, label, self._platform.kernel._now_us)
         self._queue.append(handle)
         if self._current is None and not self._paused:
             self._start_next()
@@ -138,7 +140,7 @@ class ExecutionContext:
         if task is None or task._completion_event is None:
             return
         event = task._completion_event
-        now = self._platform.kernel.now_us
+        now = self._platform.kernel._now_us
         started = task.started_us if task.started_us is not None else now
         total = event.time_us - started
         # Zero-duration tasks race the pause; they have nothing left.
@@ -167,7 +169,7 @@ class ExecutionContext:
         if not self._queue:
             return
         task = self._queue.popleft()
-        task.started_us = self._platform.kernel.now_us
+        task.started_us = self._platform.kernel._now_us
         self._current = task
         # Becoming busy may trigger an observer (e.g. the interactive
         # governor's idle-exit boost) that initiates a DVFS switch and
@@ -178,19 +180,30 @@ class ExecutionContext:
             self._schedule_completion(task)
 
     def _schedule_completion(self, task: TaskHandle) -> None:
-        duration = self._platform.duration_us(task.remaining)
+        platform = self._platform
+        remaining = task.remaining
+        active = platform._active_cluster
+        # Inlined WorkUnit.duration_us (same expression, same floats).
+        duration = remaining.fixed_us + remaining.cycles / (
+            active.spec.ipc_factor * active._opp.freq_mhz
+        )
         ticks = max(0, round(duration))
         # Re-anchor started_us so pause() measures elapsed time correctly
-        # across resumes.
-        task.started_us = self._platform.kernel.now_us
-        task._completion_event = self._platform.kernel.schedule_in(
-            ticks, lambda: self._finish(task), label=f"{self.name}:{task.label}"
+        # across resumes.  Only one task runs per context, so the
+        # completion event can resolve it through self._current instead
+        # of closing over it.
+        task.started_us = platform.kernel._now_us
+        task._completion_event = platform.kernel.schedule_in(
+            ticks, self._finish_current, label=self.name
         )
 
+    def _finish_current(self) -> None:
+        self._finish(self._current)
+
     def _finish(self, task: TaskHandle) -> None:
-        now = self._platform.kernel.now_us
+        now = self._platform.kernel._now_us
         task.completed_us = now
-        task.remaining = WorkUnit(0.0, 0.0)
+        task.remaining = _ZERO_WORK
         task._completion_event = None
         self._current = None
         if self._platform.record_task_spans:

@@ -70,6 +70,11 @@ class MobilePlatform:
         active = self._clusters[self._active_name]
         active.power_on()
         active.set_frequency(initial_config.freq_mhz)
+        self._active_cluster = active
+        #: bumped on every applied configuration; all cluster state
+        #: changes flow through __init__/_apply_config, so this (with
+        #: the busy count) fully keys the instantaneous power state.
+        self._power_state_version = 0
 
         self._contexts: list[ExecutionContext] = []
         self._busy: set[ExecutionContext] = set()
@@ -132,7 +137,7 @@ class MobilePlatform:
 
     @property
     def active_cluster(self) -> Cluster:
-        return self._clusters[self._active_name]
+        return self._active_cluster
 
     @property
     def config(self) -> CpuConfig:
@@ -158,12 +163,14 @@ class MobilePlatform:
         """Immediately apply a configuration (called by the DVFS
         controller after the switching overhead)."""
         if config.cluster != self._active_name:
-            self.active_cluster.power_off()
+            self._active_cluster.power_off()
             self._active_name = config.cluster
-            self.active_cluster.power_on()
-        self.active_cluster.set_frequency(config.freq_mhz)
+            self._active_cluster = self._clusters[config.cluster]
+            self._active_cluster.power_on()
+        self._active_cluster.set_frequency(config.freq_mhz)
+        self._power_state_version += 1
         self.trace.emit(
-            self.kernel.now_us,
+            self.kernel._now_us,
             "config",
             "applied",
             cluster=config.cluster,
@@ -190,7 +197,7 @@ class MobilePlatform:
 
     def duration_us(self, work: WorkUnit) -> float:
         """Time for ``work`` on the active cluster at its current OPP."""
-        active = self.active_cluster
+        active = self._active_cluster
         return active.spec.duration_us(work, active.freq_mhz)
 
     def duration_us_at(self, work: WorkUnit, config: CpuConfig) -> float:
@@ -254,18 +261,12 @@ class MobilePlatform:
     def current_power(self) -> PowerBreakdown:
         """Instantaneous platform power for the current state.
 
-        Memoized: power depends only on (active cluster, busy count,
-        per-cluster powered/frequency), a state space of a few dozen
-        points that the busy/idle churn revisits constantly.
+        Memoized: power depends only on (applied configuration, busy
+        count) — keyed by the configuration version counter, a state
+        space of a few dozen points the busy/idle churn revisits
+        constantly — so the hot path is one dict probe on an int pair.
         """
-        key = (
-            self._active_name,
-            len(self._busy),
-            tuple(
-                (cluster.powered, cluster.opp.freq_mhz)
-                for cluster in self._clusters.values()
-            ),
-        )
+        key = (self._power_state_version, len(self._busy))
         cached = self._power_cache.get(key)
         if cached is None:
             rows = []
@@ -276,10 +277,10 @@ class MobilePlatform:
         return cached
 
     def _notify_power_change(self) -> None:
-        self.meter.on_power_change(self.kernel.now_us, self.current_power())
+        self.meter.on_power_change(self.kernel._now_us, self.current_power())
 
     def _accumulate_utilization(self) -> None:
-        now = self.kernel.now_us
+        now = self.kernel._now_us
         dt = now - self._util_last_us
         if dt > 0:
             self._busy_ctx_integral_us += len(self._busy) * dt

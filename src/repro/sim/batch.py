@@ -1,0 +1,137 @@
+"""Lockstep multi-kernel stepping on a shared virtual-time frontier.
+
+A :class:`BatchRunner` advances N independent :class:`~repro.sim.kernel.Kernel`
+instances through their simulation windows inside one process.  Sessions in
+this codebase never share mutable state — each one owns its platform,
+browser, and trace — so *any* interleaving of their event loops produces the
+same per-session results.  The frontier exists to bound divergence: no
+kernel's clock runs more than ``quantum_us`` ahead of the slowest active
+kernel, which keeps memory for streaming consumers bounded and gives later
+cross-session vectorization a window to operate on.
+
+Ordering guarantee
+------------------
+Within one kernel, events fire in exactly the order a scalar
+``Kernel.run_until`` would fire them: the frontier only chooses *which*
+kernel runs next (earliest next-event time, ties broken by lane index), and
+each lane drains its own heap with the unmodified (time, seq) ordering.
+``tests/differential/test_kernel_ordering.py`` property-checks this against
+randomized schedules, and the batch parity suite checks it end-to-end
+through full sessions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.errors import SchedulingError
+from repro.sim.kernel import Kernel
+
+#: How far (µs) one lane may run ahead of the global frontier before the
+#: runner switches lanes.  Larger values amortize lane-switch overhead;
+#: smaller values keep lane clocks tighter together.  50 ms ≈ three vsync
+#: periods is enough to batch a whole frame's task chain per switch.
+DEFAULT_QUANTUM_US = 50_000
+
+
+class BatchRunner:
+    """Advance many independent kernels in lockstep.
+
+    Args:
+        kernels: the lanes to step.  They must not share schedulable
+            state — an action on one lane must never touch another lane's
+            kernel (the parity harness exists to catch violations).
+        quantum_us: lookahead slack past the global frontier granted to
+            the running lane (see module docstring).
+    """
+
+    def __init__(self, kernels: Sequence[Kernel], quantum_us: int = DEFAULT_QUANTUM_US) -> None:
+        if quantum_us < 0:
+            raise SchedulingError(f"negative quantum: {quantum_us}us")
+        self._kernels = list(kernels)
+        self._quantum_us = quantum_us
+        self._lane_switches = 0
+
+    @property
+    def kernels(self) -> tuple[Kernel, ...]:
+        """The lanes, in index order."""
+        return tuple(self._kernels)
+
+    @property
+    def lane_switches(self) -> int:
+        """How many times :meth:`run_until` picked a lane off the frontier
+        heap (introspection for tests and benchmarks)."""
+        return self._lane_switches
+
+    def frontier_us(self) -> int | None:
+        """Earliest next-event time across all lanes, or ``None`` when
+        every queue is empty."""
+        times = [t for k in self._kernels if (t := k.next_event_time_us()) is not None]
+        return min(times) if times else None
+
+    def run_until(self, deadlines_us: Sequence[int] | int) -> None:
+        """Run every lane to its deadline.
+
+        Equivalent to calling ``kernel.run_until(deadline)`` on each lane
+        in isolation: all events with timestamp <= the lane's deadline
+        fire (in scalar order), then the lane's clock is advanced to
+        exactly the deadline.
+
+        Args:
+            deadlines_us: one absolute deadline per lane, or a single
+                value applied to all lanes.
+        """
+        kernels = self._kernels
+        if isinstance(deadlines_us, int):
+            deadlines = [deadlines_us] * len(kernels)
+        else:
+            deadlines = list(deadlines_us)
+        if len(deadlines) != len(kernels):
+            raise SchedulingError(
+                f"{len(deadlines)} deadlines for {len(kernels)} kernels"
+            )
+
+        # Frontier heap of (next_event_time, lane_index).  Lanes with no
+        # events inside their window finalize immediately.
+        frontier: list[tuple[int, int]] = []
+        for index, kernel in enumerate(kernels):
+            next_us = kernel.next_event_time_us()
+            if next_us is not None and next_us <= deadlines[index]:
+                frontier.append((next_us, index))
+            else:
+                kernel.advance_clock(deadlines[index])
+        heapq.heapify(frontier)
+
+        quantum = self._quantum_us
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        while frontier:
+            _time_us, index = heappop(frontier)
+            self._lane_switches += 1
+            kernel = kernels[index]
+            deadline = deadlines[index]
+            # Run this lane until it would pass the next other lane's
+            # horizon (plus quantum slack) or its own deadline.
+            if frontier:
+                limit = min(deadline, frontier[0][0] + quantum)
+            else:
+                limit = deadline
+            next_us = kernel.drain_until(limit)
+            if next_us is not None and next_us <= deadline:
+                heappush(frontier, (next_us, index))
+            else:
+                kernel.advance_clock(deadline)
+
+    def run_for(self, durations_us: Sequence[int] | int) -> None:
+        """Run every lane forward by a duration (per-lane or shared)."""
+        kernels = self._kernels
+        if isinstance(durations_us, int):
+            deadlines = [k.now_us + durations_us for k in kernels]
+        else:
+            if len(durations_us) != len(kernels):
+                raise SchedulingError(
+                    f"{len(durations_us)} durations for {len(kernels)} kernels"
+                )
+            deadlines = [k.now_us + d for k, d in zip(kernels, durations_us)]
+        self.run_until(deadlines)

@@ -25,7 +25,6 @@ work entirely, not just the record append.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.errors import SimulationError
@@ -41,9 +40,12 @@ TRACE_LEVELS: tuple[str, ...] = ("full", "gated", "off")
 GATED_CATEGORIES: frozenset[str] = frozenset({"input", "config"})
 
 
-@dataclass(frozen=True)
 class TraceRecord:
     """A single trace entry.
+
+    A ``__slots__`` class rather than a (frozen) dataclass: records are
+    constructed on the emit hot path, and the generated frozen-dataclass
+    ``__init__`` pays an ``object.__setattr__`` per field.
 
     Attributes:
         time_us: simulated timestamp.
@@ -52,13 +54,34 @@ class TraceRecord:
         data: free-form payload (kept small; values should be scalars).
     """
 
-    time_us: int
-    category: str
-    name: str
-    data: dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time_us", "category", "name", "data")
+
+    def __init__(
+        self, time_us: int, category: str, name: str, data: Optional[dict] = None
+    ) -> None:
+        self.time_us = time_us
+        self.category = category
+        self.name = name
+        self.data = data if data is not None else {}
 
     def __getitem__(self, key: str) -> Any:
         return self.data[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (
+            self.time_us == other.time_us
+            and self.category == other.category
+            and self.name == other.name
+            and self.data == other.data
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecord(time_us={self.time_us!r}, category={self.category!r}, "
+            f"name={self.name!r}, data={self.data!r})"
+        )
 
 
 class TraceLog:

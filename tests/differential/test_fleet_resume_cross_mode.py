@@ -1,0 +1,102 @@
+"""Cross-mode checkpoint resume: batch width is an execution knob.
+
+A checkpoint written by a scalar fleet run must resume under ``--batch``
+(and vice versa) and serialise byte-identically to an uninterrupted run
+in either mode — which requires the spec fingerprint to never encode
+the batch width, and shard partials to be interchangeable across modes.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import Fleet, FleetSpec, scan_checkpoint
+
+from tests.conftest import FAST_MIX
+
+SPEC = dict(sessions=10, seed=11, mix=FAST_MIX, shard_size=3)
+
+
+@pytest.fixture(scope="module")
+def clean_json():
+    """The reference output every run below must reproduce."""
+    return Fleet(FleetSpec(**SPEC), jobs=1).run().to_json()
+
+
+def interrupted_checkpoint(tmp_path, batch: int) -> str:
+    """A checkpoint from a run (at the given batch width) that lost
+    shard 1 to a permanent injected crash: shards 0, 2, 3 are durably
+    recorded, shard 1 is not."""
+    path = str(tmp_path / f"cp-batch{batch}.jsonl")
+    crashing = FleetSpec(
+        **SPEC, max_retries=0, inject_crash={"shard": 1, "attempts": 99}
+    )
+    result = Fleet(crashing, jobs=1, batch=batch, checkpoint=path).run()
+    assert not result.ok
+    assert sorted(scan_checkpoint(path)[1]) == [0, 2, 3]
+    return path
+
+
+class TestCrossModeResume:
+    def test_scalar_checkpoint_resumes_batched(self, tmp_path, clean_json):
+        path = interrupted_checkpoint(tmp_path, batch=1)
+        resumed = Fleet(
+            FleetSpec(**SPEC), jobs=1, batch=3, checkpoint=path, resume=True
+        ).run()
+        assert resumed.ok
+        assert resumed.resumed_shards == 3
+        assert resumed.to_json() == clean_json
+
+    def test_batched_checkpoint_resumes_scalar(self, tmp_path, clean_json):
+        path = interrupted_checkpoint(tmp_path, batch=3)
+        resumed = Fleet(
+            FleetSpec(**SPEC), jobs=1, batch=1, checkpoint=path, resume=True
+        ).run()
+        assert resumed.ok
+        assert resumed.resumed_shards == 3
+        assert resumed.to_json() == clean_json
+
+    def test_fingerprint_does_not_encode_batch(self):
+        """Both modes stamp checkpoints with the same fingerprint —
+        that is what makes them interchangeable."""
+        fingerprint = FleetSpec(**SPEC).fingerprint()
+        assert "batch" not in fingerprint
+        assert Fleet(FleetSpec(**SPEC), batch=8).spec.fingerprint() == fingerprint
+
+
+class TestJournalParity:
+    def test_checkpoint_journals_byte_identical_across_modes(self, tmp_path):
+        """A complete run's checkpoint journal — header and every shard
+        partial record — is byte-identical whether the shards ran
+        scalar or batched."""
+        journals = {}
+        for batch in (1, 4):
+            path = str(tmp_path / f"full-batch{batch}.jsonl")
+            result = Fleet(
+                FleetSpec(**SPEC), jobs=1, batch=batch, checkpoint=path
+            ).run()
+            assert result.ok
+            with open(path, "rb") as handle:
+                journals[batch] = handle.read()
+        assert journals[1] == journals[4]
+        # And the records themselves parse to the same partials.
+        header, completed, _ = scan_checkpoint(
+            str(tmp_path / "full-batch1.jsonl")
+        )
+        assert header["fingerprint"] == FleetSpec(**SPEC).fingerprint()
+        assert sorted(completed) == [0, 1, 2, 3]
+
+    def test_run_json_identical_across_batch_widths(self):
+        outputs = {
+            batch: Fleet(FleetSpec(**SPEC), batch=batch).run().to_json()
+            for batch in (1, 2, 10)
+        }
+        assert outputs[1] == outputs[2] == outputs[10]
+
+
+class TestBatchValidation:
+    def test_rejects_non_positive_batch(self):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError, match="batch"):
+            Fleet(FleetSpec(**SPEC), batch=0)

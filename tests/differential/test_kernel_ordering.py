@@ -1,0 +1,187 @@
+"""Property tests for batch frontier event-ordering invariants.
+
+Seeded randomized schedules — events that spawn follow-ups (including
+zero-delay, same-timestamp ones) and cancel other events — are replayed
+twice: once through scalar :meth:`Kernel.run_until` per kernel, once
+through a :class:`BatchRunner` frontier over fresh identical kernels.
+The invariants:
+
+* each kernel's fire order (ids and timestamps) is identical in both
+  modes — same-timestamp ties resolve by insertion order either way,
+  and cancelled events stay cancelled;
+* no session observes another's events: a lane's log only ever
+  contains that lane's event ids;
+* batch boundaries never reorder same-timestamp events relative to the
+  scalar heap order, for any quantum;
+* ``drain_until`` + ``advance_clock`` is equivalent to ``run_until``.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim import BatchRunner, Kernel
+
+DEADLINE_US = 50_000
+
+
+def make_schedule(rng: random.Random, lane: int, roots: int) -> list[dict]:
+    """Generate a replayable event-tree description for one lane.
+
+    Each event: fire time, globally-unique id, child events (relative
+    delays, often 0 to force same-timestamp ties), and ids of earlier
+    events to cancel when it fires.
+    """
+    next_id = [lane * 1_000_000]
+    known_ids: list[int] = []
+
+    def event(depth: int, time_us: int) -> dict:
+        eid = next_id[0]
+        next_id[0] += 1
+        children = []
+        if depth < 3:
+            for _ in range(rng.randint(0, 3)):
+                # Zero delays exercise the same-timestamp tie-break.
+                delay = rng.choice((0, 0, 1, rng.randint(0, 5_000)))
+                children.append((delay, event(depth + 1, time_us + delay)))
+        cancels = [c for c in rng.sample(known_ids, min(len(known_ids), 2))
+                   if rng.random() < 0.3]
+        known_ids.append(eid)
+        return {"id": eid, "children": children, "cancels": cancels}
+
+    return [
+        {"time": rng.randint(0, DEADLINE_US + 5_000), "event": event(0, 0)}
+        for _ in range(roots)
+    ]
+
+
+def install(kernel: Kernel, schedule: list[dict], log: list[tuple[int, int]]):
+    """Install a generated schedule on a kernel; fired events append
+    ``(id, time)`` to ``log``."""
+    handles: dict[int, object] = {}
+
+    def fire(node: dict) -> None:
+        log.append((node["id"], kernel.now_us))
+        for victim in node["cancels"]:
+            handle = handles.get(victim)
+            if handle is not None:
+                handle.cancel()
+        for delay, child in node["children"]:
+            handles[child["id"]] = kernel.schedule_in(
+                delay, lambda n=child: fire(n)
+            )
+
+    for root in schedule:
+        handles[root["event"]["id"]] = kernel.schedule_at(
+            root["time"], lambda n=root["event"]: fire(n)
+        )
+
+
+def run_scalar(schedules: list[list[dict]]) -> list[list[tuple[int, int]]]:
+    logs: list[list[tuple[int, int]]] = []
+    for schedule in schedules:
+        kernel = Kernel()
+        log: list[tuple[int, int]] = []
+        install(kernel, schedule, log)
+        kernel.run_until(DEADLINE_US)
+        assert kernel.now_us == DEADLINE_US
+        logs.append(log)
+    return logs
+
+
+def run_batched(
+    schedules: list[list[dict]], quantum_us: int
+) -> list[list[tuple[int, int]]]:
+    kernels = [Kernel() for _ in schedules]
+    logs: list[list[tuple[int, int]]] = [[] for _ in schedules]
+    for kernel, schedule, log in zip(kernels, schedules, logs):
+        install(kernel, schedule, log)
+    BatchRunner(kernels, quantum_us=quantum_us).run_until(DEADLINE_US)
+    for kernel in kernels:
+        assert kernel.now_us == DEADLINE_US
+    return logs
+
+
+class TestFrontierOrderParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_schedules_fire_identically(self, seed):
+        rng = random.Random(seed)
+        lanes = rng.randint(2, 6)
+        schedules = [make_schedule(rng, lane, roots=rng.randint(1, 6))
+                     for lane in range(lanes)]
+        scalar_logs = run_scalar(schedules)
+        for quantum in (1, 137, 50_000):
+            assert run_batched(schedules, quantum) == scalar_logs
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_cross_lane_observation(self, seed):
+        rng = random.Random(1_000 + seed)
+        schedules = [make_schedule(rng, lane, roots=3) for lane in range(4)]
+        for log, lane in zip(run_batched(schedules, 137), range(4)):
+            for eid, _time in log:
+                assert lane * 1_000_000 <= eid < (lane + 1) * 1_000_000
+
+    def test_same_timestamp_ties_across_lanes(self):
+        """Two lanes with events at identical absolute times: each
+        lane's insertion order is preserved regardless of which lane
+        the frontier serves first."""
+        order_a: list[str] = []
+        order_b: list[str] = []
+        a, b = Kernel(), Kernel()
+        for tag in ("a1", "a2", "a3"):
+            a.schedule_at(100, lambda t=tag: order_a.append(t))
+        for tag in ("b1", "b2"):
+            b.schedule_at(100, lambda t=tag: order_b.append(t))
+        b.schedule_at(100, lambda: order_b.append("b3"))
+        BatchRunner([a, b], quantum_us=1).run_until(200)
+        assert order_a == ["a1", "a2", "a3"]
+        assert order_b == ["b1", "b2", "b3"]
+
+    def test_cancelled_events_stay_cancelled(self):
+        fired: list[str] = []
+        kernel = Kernel()
+        victim = kernel.schedule_at(150, lambda: fired.append("victim"))
+        kernel.schedule_at(100, victim.cancel)
+        other = Kernel()
+        other.schedule_at(120, lambda: fired.append("other"))
+        BatchRunner([kernel, other], quantum_us=10).run_until(200)
+        assert fired == ["other"]
+
+
+class TestDrainAdvanceEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_drain_plus_advance_equals_run_until(self, seed):
+        rng = random.Random(2_000 + seed)
+        schedule = make_schedule(rng, 0, roots=4)
+
+        reference_kernel = Kernel()
+        reference_log: list[tuple[int, int]] = []
+        install(reference_kernel, schedule, reference_log)
+        reference_kernel.run_until(DEADLINE_US)
+
+        kernel = Kernel()
+        log: list[tuple[int, int]] = []
+        install(kernel, schedule, log)
+        # Drain in randomly-sized windows, then finalize the clock —
+        # the decomposition BatchRunner uses internally.
+        limit = 0
+        while limit < DEADLINE_US:
+            limit = min(DEADLINE_US, limit + rng.randint(1, 10_000))
+            kernel.drain_until(limit)
+        kernel.advance_clock(DEADLINE_US)
+
+        assert log == reference_log
+        assert kernel.now_us == reference_kernel.now_us == DEADLINE_US
+        assert kernel.events_fired == reference_kernel.events_fired
+
+    def test_advance_clock_refuses_pending_event(self):
+        kernel = Kernel()
+        kernel.schedule_at(100, lambda: None)
+        with pytest.raises(SchedulingError):
+            kernel.advance_clock(100)
+
+    def test_advance_clock_refuses_rewind(self):
+        kernel = Kernel(start_time_us=500)
+        with pytest.raises(SchedulingError):
+            kernel.advance_clock(400)

@@ -2,53 +2,17 @@
 the full browser + platform stack."""
 
 
-from repro.browser import Browser, Page
 from repro.core import (
-    AnnotationRegistry,
-    GreenWebRuntime,
     InteractiveGovernor,
     OndemandGovernor,
     PerfGovernor,
     PowersaveGovernor,
     UsageScenario,
 )
-from repro.hardware import CpuConfig, odroid_xu_e
-from repro.web import Callback, parse_html
+from repro.hardware import CpuConfig
+from repro.web import Callback
 
-
-MARKUP = """
-<style>
-  #btn:QoS { onclick-qos: single, short; }
-  #anim:QoS { ontouchstart-qos: continuous; }
-</style>
-<div id="btn"></div>
-<div id="anim"></div>
-"""
-
-
-def build(policy_factory, scenario=UsageScenario.IMPERCEPTIBLE, markup=MARKUP):
-    platform = odroid_xu_e()
-    document, sheet = parse_html(markup)
-    page = Page(name="t", document=document, stylesheet=sheet)
-    policy = policy_factory(platform, sheet, scenario)
-    browser = Browser(platform, page, policy=policy)
-    return browser, platform, policy
-
-
-def greenweb_factory(**kwargs):
-    def factory(platform, sheet, scenario):
-        registry = AnnotationRegistry.from_stylesheet(sheet)
-        return GreenWebRuntime(platform, registry, scenario, **kwargs)
-
-    return factory
-
-
-def light_tap_callback():
-    def body(ctx):
-        ctx.do_work(400_000)
-        ctx.mark_dirty(0.3)
-
-    return Callback(body, "lightTap")
+from tests.conftest import build, greenweb_factory, light_tap_callback
 
 
 class TestGreenWebSingleEvents:

@@ -21,7 +21,7 @@ from repro.fleet import (
 from repro.session import Session
 from repro.sim.random import derive_seed
 
-FAST_MIX = parse_mix("todo:greenweb,cnet:perf")
+from tests.conftest import FAST_MIX
 
 
 # ----------------------------------------------------------------------

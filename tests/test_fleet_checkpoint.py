@@ -22,7 +22,8 @@ from repro.fleet import (
     scan_checkpoint,
 )
 
-FAST_MIX = parse_mix("todo:greenweb,cnet:perf")
+from tests.conftest import FAST_MIX
+
 SPEC = dict(sessions=8, seed=7, mix=FAST_MIX, shard_size=3)
 
 
