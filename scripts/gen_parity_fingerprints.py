@@ -20,6 +20,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.evaluation.runner import GOVERNORS, run_workload_job  # noqa: E402
+from repro.scenarios import SCENARIOS  # noqa: E402
 from repro.workloads.registry import APP_NAMES  # noqa: E402
 
 OUT = os.path.join(os.path.dirname(__file__), "..", "tests", "data",
@@ -30,6 +31,21 @@ TRACE_KIND = "micro"
 SEED = 0
 SETTLE_S = 4.0
 TRACE_LEVELS = ("full", "gated")
+
+#: Dynamic-scenario cells (app, governor, scenario spec), swept at both
+#: trace levels into the separate ``dynamic_cells`` section — the
+#: static ``cells`` sweep above pins the bare-scenario bytes and must
+#: never change when these do.  Parameters are chosen so the dynamics
+#: actually engage on the micro traces: paperjs's animation load trips
+#: the thermal cap at ``hot_load=0.2``, and a 600 %/min drain crosses
+#: the 60 % relax threshold mid-run.  Keys are ``:``-joined — safe
+#: because the spec grammar rejects ``:`` in every field.
+DYNAMIC_CELLS = (
+    ("paperjs", "perf",
+     "thermal(cap_mhz=1100,trip_ms=200,hysteresis_ms=2000,hot_load=0.2)"),
+    ("paperjs", "greenweb",
+     "battery(start_pct=90,drain_pct_per_min=600,relax_at_pct=60)"),
+)
 
 
 def job_fingerprint(result: dict) -> str:
@@ -55,6 +71,22 @@ def main() -> int:
                 })
                 cells[f"{app}:{governor}:{level}"] = job_fingerprint(result)
                 print(f"{app}:{governor}:{level}", cells[f"{app}:{governor}:{level}"][:16])
+    dynamic_cells = {}
+    for app, governor, scenario in DYNAMIC_CELLS:
+        canonical_scenario = SCENARIOS.normalize(scenario).canonical()
+        for level in TRACE_LEVELS:
+            result = run_workload_job({
+                "app": app,
+                "governor": governor,
+                "scenario": scenario,
+                "trace_kind": TRACE_KIND,
+                "seed": SEED,
+                "settle_s": SETTLE_S,
+                "trace_level": level,
+            })
+            key = f"{app}:{governor}:{canonical_scenario}:{level}"
+            dynamic_cells[key] = job_fingerprint(result)
+            print(key, dynamic_cells[key][:16])
     payload = {
         "workload": {
             "trace_kind": TRACE_KIND,
@@ -63,11 +95,12 @@ def main() -> int:
             "scenario": "imperceptible",
         },
         "cells": cells,
+        "dynamic_cells": dynamic_cells,
     }
     with open(OUT, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"wrote {OUT} ({len(cells)} cells)")
+    print(f"wrote {OUT} ({len(cells)} cells, {len(dynamic_cells)} dynamic)")
     return 0
 
 

@@ -33,18 +33,25 @@ import urllib.error
 import urllib.request
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-MIX = "todo:greenweb,cnet:perf"
-SEEDS = (11, 23)
+#: One job runs a plain static mix; the other includes a parameterized
+#: dynamic-scenario entry, so the smoke covers scenario specs surviving
+#: the HTTP payload -> store -> checkpoint -> resume round trip.
+MIXES = {
+    11: ("todo:greenweb,paperjs:perf:"
+         "thermal(cap_mhz=1100,trip_ms=200,hysteresis_ms=2000,hot_load=0.2)"),
+    23: "todo:greenweb,cnet:perf",
+}
+SEEDS = tuple(MIXES)
 
 
 def spec_for(seed: int) -> dict:
-    return {"sessions": 8, "shard_size": 2, "seed": seed, "mix": MIX}
+    return {"sessions": 8, "shard_size": 2, "seed": seed, "mix": MIXES[seed]}
 
 
 def spec_args(seed: int) -> list:
     return [
         "fleet", "--sessions", "8", "--shard-size", "2",
-        "--seed", str(seed), "--mix", MIX,
+        "--seed", str(seed), "--mix", MIXES[seed],
     ]
 
 

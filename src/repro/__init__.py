@@ -21,6 +21,8 @@ Package map (see DESIGN.md for the full inventory):
 
 * :mod:`repro.core` — QoS abstractions, the GreenWeb CSS extension,
   the predictive runtime, baseline governors (the paper's contribution).
+* :mod:`repro.scenarios` — usage scenarios as parameterizable
+  simulation actors (``thermal(cap_mhz=1100)``, ``battery(...)``, ...).
 * :mod:`repro.autogreen` — automatic annotation (paper Sec. 5).
 * :mod:`repro.browser` — Chromium-like frame pipeline simulator.
 * :mod:`repro.hardware` — big.LITTLE platform with DVFS and energy.
@@ -43,6 +45,7 @@ from repro.core.qos import (
 from repro.core.runtime import GreenWebRuntime
 from repro.fleet import Fleet, FleetSpec
 from repro.policies import POLICIES, PolicySpec, register
+from repro.scenarios import SCENARIOS, ScenarioSpec
 from repro.session import Session
 
 __version__ = "1.0.0"
@@ -63,5 +66,7 @@ __all__ = [
     "GreenWebRuntime",
     "POLICIES",
     "PolicySpec",
+    "SCENARIOS",
+    "ScenarioSpec",
     "register",
 ]

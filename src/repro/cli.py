@@ -32,11 +32,11 @@ import signal
 import sys
 import time
 
-from repro.core.qos import UsageScenario
 from repro.errors import ReproError
 from repro.evaluation.runner import run_workload
 from repro.ioutil import probe_writable, write_file_atomic
 from repro.policies import POLICIES
+from repro.scenarios import SCENARIOS, build_live_scenario
 from repro.sim.tracing import TRACE_LEVELS
 from repro.workloads.registry import APP_NAMES, build_app, table3_specs
 
@@ -61,7 +61,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = run_workload(
         args.app,
         args.governor,
-        UsageScenario(args.scenario),
+        args.scenario,
         trace_kind=args.trace,
         seed=args.seed,
         trace_level=args.trace_level,
@@ -105,9 +105,11 @@ def _export_trace(args: argparse.Namespace) -> int:
     trace_obj = bundle.micro_trace if args.trace == "micro" else bundle.full_trace
     platform = odroid_xu_e(record_power_intervals=False)
     platform.record_task_spans = True  # per-thread timeline tracks
+    scenario = build_live_scenario(args.scenario, platform, seed=args.seed)
     registry = AnnotationRegistry.from_stylesheet(bundle.page.stylesheet)
-    policy = make_policy(args.governor, platform, registry, UsageScenario(args.scenario))
+    policy = make_policy(args.governor, platform, registry, scenario)
     browser = Browser(platform, bundle.page, policy=policy)
+    scenario.attach(browser)
     driver = InteractionDriver(browser)
     driver.schedule(trace_obj)
     platform.run_for(trace_obj.duration_us + s_to_us(4))
@@ -172,9 +174,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     bundle = build_app(args.app, args.seed)
     trace_obj = bundle.micro_trace if args.trace == "micro" else bundle.full_trace
     platform = odroid_xu_e(record_power_intervals=False)
+    scenario = build_live_scenario(args.scenario, platform, seed=args.seed)
     registry = AnnotationRegistry.from_stylesheet(bundle.page.stylesheet)
-    policy = make_policy(args.governor, platform, registry, UsageScenario(args.scenario))
+    policy = make_policy(args.governor, platform, registry, scenario)
     browser = Browser(platform, bundle.page, policy=policy)
+    scenario.attach(browser)
     InteractionDriver(browser).schedule(trace_obj)
     platform.run_for(trace_obj.duration_us + s_to_us(4))
 
@@ -429,7 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
         f"greenweb(ewma_alpha=0.25); known: {', '.join(POLICIES.names())}",
     )
     run_parser.add_argument(
-        "--scenario", default="imperceptible", choices=["imperceptible", "usable"]
+        "--scenario", default="imperceptible", metavar="SPEC",
+        help="usage scenario: a registered name or NAME(k=v,...), e.g. "
+        f"thermal(cap_mhz=1100); known: {', '.join(SCENARIOS.names())}",
     )
     run_parser.add_argument("--trace", default="micro", choices=["micro", "full"])
     run_parser.add_argument(
@@ -484,8 +490,9 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument(
         "--mix",
         help="population mix: comma-separated "
-        "APP[:GOVERNOR[:SCENARIO[:TRACE]]][=WEIGHT] items; GOVERNOR may "
-        "be a parameterized spec like greenweb(ewma_alpha=0.25) "
+        "APP[:GOVERNOR[:SCENARIO[:TRACE]]][=WEIGHT] items; GOVERNOR and "
+        "SCENARIO may be parameterized specs like "
+        "greenweb(ewma_alpha=0.25) or thermal(cap_mhz=1100) "
         "(default: every app under greenweb and perf, micro traces)",
     )
     fleet_parser.add_argument(
@@ -598,7 +605,9 @@ def build_parser() -> argparse.ArgumentParser:
         f"{', '.join(POLICIES.names())}",
     )
     analyze_parser.add_argument(
-        "--scenario", default="imperceptible", choices=["imperceptible", "usable"]
+        "--scenario", default="imperceptible", metavar="SPEC",
+        help="usage scenario: a registered name or NAME(k=v,...); known: "
+        f"{', '.join(SCENARIOS.names())}",
     )
     analyze_parser.add_argument("--trace", default="micro", choices=["micro", "full"])
     analyze_parser.add_argument("--seed", type=int, default=0)

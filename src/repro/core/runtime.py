@@ -68,7 +68,10 @@ class GreenWebRuntime(BrowserPolicy):
         self,
         platform: MobilePlatform,
         registry: AnnotationRegistry,
-        scenario: UsageScenario = UsageScenario.IMPERCEPTIBLE,
+        # A UsageScenario or a live repro.scenarios.Scenario — QoSSpec
+        # duck-dispatches either when resolving targets, so the runtime
+        # transparently follows time-varying scenario dynamics.
+        scenario: "UsageScenario | object" = UsageScenario.IMPERCEPTIBLE,
         fallback_spec: Optional[QoSSpec] = None,
         idle_config: Optional[CpuConfig] = None,
         misprediction_tolerance: float = 0.30,

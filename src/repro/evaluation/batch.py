@@ -25,7 +25,6 @@ from __future__ import annotations
 import gc
 from typing import Optional, Sequence
 
-from repro.core.qos import UsageScenario
 from repro.evaluation.runner import (
     SessionExecution,
     run_result_to_dict,
@@ -48,17 +47,16 @@ def prepare_job(spec: dict) -> Optional[SessionExecution]:
     )
     if POLICIES.get(policy_spec.name).posthoc is not None:
         return None
-    scenario = UsageScenario(spec.get("scenario", "imperceptible"))
     return SessionExecution(
         spec["app"],
         policy_spec.label(),
-        scenario,
+        spec.get("scenario", "imperceptible"),
         spec.get("trace_kind", "full"),
         int(spec.get("seed", 0)),
         float(spec.get("settle_s", 4.0)),
         spec.get("trace_level", "full"),
-        lambda platform, registry: POLICIES.build(
-            policy_spec, platform, registry, scenario
+        lambda platform, registry, live_scenario: POLICIES.build(
+            policy_spec, platform, registry, live_scenario
         ),
     )
 

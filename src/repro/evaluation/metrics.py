@@ -40,15 +40,21 @@ def geo_mean_violation_pct(latencies_us: Sequence[float], target_us: float) -> f
 
 
 def event_violation_pct(
-    record: InputRecord, spec: QoSSpec, scenario: UsageScenario
+    record: InputRecord, spec: QoSSpec, scenario: "UsageScenario | object"
 ) -> Optional[float]:
     """The QoS violation of one input event under its spec.
+
+    ``scenario`` is a :class:`UsageScenario` or a live scenario object
+    (:mod:`repro.scenarios`); for dynamic scenarios the operative
+    target is sampled at the event's *dispatch* time — the target the
+    user held the interaction to when they issued it — so accounting
+    does not depend on when metrics are collected.
 
     Returns None for events that produced no frames (nothing to judge).
     """
     if record.frame_count == 0:
         return None
-    target_us = spec.target_ms(scenario) * 1_000.0
+    target_us = spec.target_ms_at(scenario, record.msg.start_us) * 1_000.0
     if spec.qos_type is QoSType.SINGLE:
         return violation_pct(float(record.first_frame_latency_us), target_us)
     return geo_mean_violation_pct([float(l) for l in record.frame_latencies_us], target_us)

@@ -369,6 +369,8 @@ def _cells_html(by_cell: dict) -> str:
         return "<p class='sub'>no sessions aggregated yet</p>"
     parsed = []
     for key in sorted(by_cell):
+        # "|" is reserved: spec parsing and cell_key() both reject it in
+        # every field, so this split is unambiguous.
         app, scenario, governor = key.split("|", 2)
         parsed.append((app, scenario, governor, by_cell[key]))
     tops: dict = {}

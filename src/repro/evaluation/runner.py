@@ -25,7 +25,9 @@ from repro.evaluation.metrics import event_violation_pct, mean_violation_pct
 from repro.hardware.dvfs import CpuConfig
 from repro.hardware.platform import odroid_xu_e
 from repro.policies import POLICIES, PolicySpec
+from repro.scenarios import SCENARIOS, Scenario, ScenarioSpec
 from repro.sim.clock import s_to_us
+from repro.sim.random import RngStreams
 from repro.sim.tracing import TraceLog
 from repro.workloads.interactions import InteractionDriver
 from repro.workloads.registry import build_app
@@ -107,7 +109,9 @@ class RunResult:
 
     app: str
     governor: str
-    scenario: UsageScenario
+    #: the canonical scenario spec string (``"imperceptible"``,
+    #: ``"thermal(cap_mhz=1100)"``, ...)
+    scenario: str
     trace_kind: str
     duration_s: float
     energy_j: float
@@ -158,10 +162,16 @@ def make_policy(
     governor: "PolicySpec | str",
     platform,
     registry: AnnotationRegistry,
-    scenario: UsageScenario,
+    scenario: "UsageScenario | Scenario",
     runtime_kwargs: Optional[dict] = None,
 ) -> BrowserPolicy:
-    """Instantiate a governor policy from a spec (string or parsed)."""
+    """Instantiate a governor policy from a spec (string or parsed).
+
+    ``scenario`` is what the policy will read targets through: a static
+    :class:`UsageScenario` or a live bound
+    :class:`~repro.scenarios.base.Scenario`
+    (:func:`repro.scenarios.build_live_scenario` builds one for
+    hand-assembled stacks)."""
     spec = resolve_spec(governor, runtime_kwargs)
     return POLICIES.build(spec, platform, registry, scenario)
 
@@ -202,7 +212,7 @@ def trace_event_keys(app: str, seed: int, trace_kind: str) -> list[str]:
 def run_workload(
     app: str,
     governor: "PolicySpec | str",
-    scenario: UsageScenario = UsageScenario.IMPERCEPTIBLE,
+    scenario: "UsageScenario | ScenarioSpec | str" = UsageScenario.IMPERCEPTIBLE,
     trace_kind: str = "full",
     seed: int = 0,
     settle_s: float = 4.0,
@@ -216,10 +226,15 @@ def run_workload(
         governor: a policy spec — a bare registered name (see
             ``POLICIES.names()``), a parameterized string like
             ``"greenweb(ewma_alpha=0.25)"``, or a :class:`PolicySpec`.
-        scenario: the usage scenario (GreenWeb's QoS target choice;
-            Perf and Interactive "behave the same independently of the
-            usage scenario", Sec. 7.1 — only their violation accounting
-            changes).
+        scenario: the usage scenario — a registered name or
+            parameterized spec like ``"thermal(cap_mhz=1100)"`` (see
+            ``SCENARIOS.names()``), a :class:`ScenarioSpec`, or a
+            legacy :class:`UsageScenario` value.  The static pair is
+            GreenWeb's QoS target choice (Perf and Interactive "behave
+            the same independently of the usage scenario", Sec. 7.1 —
+            only their violation accounting changes); dynamic scenarios
+            additionally act on the simulation (thermal caps, injected
+            work).
         trace_kind: ``"micro"`` or ``"full"``.
         seed: workload seed.
         settle_s: wall-clock tail after the last input.
@@ -234,12 +249,13 @@ def run_workload(
             zeroes the trace-derived fields (active energy, residency).
     """
     spec = resolve_spec(governor, runtime_kwargs)
+    scenario_spec = SCENARIOS.normalize(scenario)
     entry = POLICIES.get(spec.name)
     if entry.posthoc is not None:
         return entry.posthoc(
             spec,
             app=app,
-            scenario=scenario,
+            scenario=scenario_spec,
             trace_kind=trace_kind,
             seed=seed,
             settle_s=settle_s,
@@ -248,12 +264,14 @@ def run_workload(
     return execute_run(
         app,
         spec.label(),
-        scenario,
+        scenario_spec,
         trace_kind,
         seed,
         settle_s,
         trace_level,
-        lambda platform, registry: POLICIES.build(spec, platform, registry, scenario),
+        lambda platform, registry, live_scenario: POLICIES.build(
+            spec, platform, registry, live_scenario
+        ),
     )
 
 
@@ -277,7 +295,7 @@ class SessionExecution:
         self,
         app: str,
         governor_label: str,
-        scenario: UsageScenario,
+        scenario: "UsageScenario | ScenarioSpec | str",
         trace_kind: str,
         seed: int,
         settle_s: float,
@@ -286,7 +304,7 @@ class SessionExecution:
     ) -> None:
         self.app = app
         self.governor_label = governor_label
-        self.scenario = scenario
+        self.scenario_spec = SCENARIOS.normalize(scenario)
         self.trace_kind = trace_kind
 
         bundle = build_app(app, seed)
@@ -295,9 +313,17 @@ class SessionExecution:
         self.platform = odroid_xu_e(
             record_power_intervals=False, trace=TraceLog.for_level(trace_level)
         )
+        # Each session gets a FRESH live scenario (instances carry run
+        # state) bound to its platform and a forked RNG lane, so
+        # scenario randomness never perturbs workload streams.  Bound
+        # before the policy so the policy can read its targets from it.
+        self.scenario: Scenario = SCENARIOS.build(self.scenario_spec).bind(
+            self.platform, RngStreams(seed).fork("scenario")
+        )
         registry = AnnotationRegistry.from_stylesheet(bundle.page.stylesheet)
-        self.policy = policy_factory(self.platform, registry)
+        self.policy = policy_factory(self.platform, registry, self.scenario)
         self.browser = Browser(self.platform, bundle.page, policy=self.policy)
+        self.scenario.attach(self.browser)
         self._config_fold = ConfigTimelineFold().attach(self.platform.trace)
         self._accountant = _ActiveWindowAccountant(self.platform)
         driver = InteractionDriver(self.browser)
@@ -374,7 +400,7 @@ class SessionExecution:
         return RunResult(
             app=self.app,
             governor=self.governor_label,
-            scenario=self.scenario,
+            scenario=self.scenario_spec.canonical(),
             trace_kind=self.trace_kind,
             duration_s=platform.kernel.now_us / 1e6,
             energy_j=platform.meter.total_j,
@@ -396,7 +422,7 @@ class SessionExecution:
 def execute_run(
     app: str,
     governor_label: str,
-    scenario: UsageScenario,
+    scenario: "UsageScenario | ScenarioSpec | str",
     trace_kind: str,
     seed: int,
     settle_s: float,
@@ -404,10 +430,13 @@ def execute_run(
     policy_factory,
 ) -> RunResult:
     """The measurement core shared by live-policy runs and post-hoc
-    replays: build the world, let ``policy_factory(platform, registry)``
-    supply the policy, replay the trace for the fixed window, collect
-    metrics.  :func:`run_workload` is the spec-aware front door; the
-    oracle calls this directly with its pinned-replay policies.
+    replays: build the world (including a fresh bound scenario), let
+    ``policy_factory(platform, registry, scenario)`` supply the policy,
+    replay the trace for the fixed window, collect metrics.
+    :func:`run_workload` is the spec-aware front door; the oracle calls
+    this directly with its pinned-replay policies — each replay gets
+    its own scenario instance, so thermal state never leaks between
+    replays.
     """
     execution = SessionExecution(
         app, governor_label, scenario, trace_kind, seed, settle_s, trace_level,
@@ -421,8 +450,9 @@ def run_result_to_dict(result: RunResult) -> dict:
     """Flatten a :class:`RunResult` into plain picklable/JSON-able data.
 
     ``CpuConfig`` residency keys become their ``"cluster@MHz"`` strings
-    and the scenario becomes its string value, so the dict survives any
-    serialisation boundary (process pools, JSON files, future RPC).
+    (the scenario is already a canonical spec string), so the dict
+    survives any serialisation boundary (process pools, JSON files,
+    future RPC).
     """
     return {
         "app": result.app,
@@ -465,7 +495,7 @@ def run_workload_job(spec: dict) -> dict:
     result = run_workload(
         spec["app"],
         spec.get("governor", "greenweb"),
-        UsageScenario(spec.get("scenario", "imperceptible")),
+        spec.get("scenario", "imperceptible"),
         trace_kind=spec.get("trace_kind", "full"),
         seed=int(spec.get("seed", 0)),
         settle_s=float(spec.get("settle_s", 4.0)),

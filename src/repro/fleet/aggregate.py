@@ -150,18 +150,31 @@ class Histogram:
 
 
 #: Separator for :attr:`FleetAggregate.by_cell` keys.  Canonical policy
-#: specs may contain ``(`` ``)`` ``,`` ``=`` and ``:`` never appears in
-#: app or scenario names, but ``|`` is safe against all three fields.
+#: and scenario specs may contain ``(`` ``)`` ``,`` ``=`` but never
+#: ``|`` — the spec grammar's parser alphabet excludes it, and
+#: programmatic construction rejects it
+#: (:class:`repro.policies.spec.PolicySpec` bans the fleet delimiters
+#: in string parameter values).  :func:`cell_key` still guards, so a
+#: future field that slips a ``|`` through fails loudly here instead of
+#: producing a key :func:`split_cell_key` mis-parses.
 CELL_SEP = "|"
 
 
 def cell_key(app: str, scenario: str, governor: str) -> str:
     """The ``by_cell`` grouping key for one (app, scenario, policy)."""
+    for field_name, value in (
+        ("app", app), ("scenario", scenario), ("governor", governor)
+    ):
+        if CELL_SEP in value:
+            raise EvaluationError(
+                f"cell {field_name} {value!r} contains the reserved cell-key "
+                f"delimiter {CELL_SEP!r}"
+            )
     return f"{app}{CELL_SEP}{scenario}{CELL_SEP}{governor}"
 
 
 def split_cell_key(key: str) -> tuple[str, str, str]:
-    """Inverse of :func:`cell_key` (policy specs never contain ``|``)."""
+    """Inverse of :func:`cell_key` (specs never contain ``|``)."""
     app, scenario, governor = key.split(CELL_SEP, 2)
     return app, scenario, governor
 

@@ -17,9 +17,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.qos import UsageScenario
 from repro.errors import EvaluationError
 from repro.policies import POLICIES
+from repro.scenarios import SCENARIOS
 from repro.sim.random import RngStreams, derive_seed
 from repro.sim.tracing import TRACE_LEVELS
 from repro.workloads.registry import APP_NAMES
@@ -52,31 +52,31 @@ class MixEntry:
     def validate(self) -> "MixEntry":
         """Validate every field and return the canonical entry.
 
-        The governor is normalized through the policy registry, so
-        ``greenweb(boost=0, ewma=0.25)`` and
+        The governor and scenario are normalized through their
+        registries, so ``greenweb(boost=0, ewma=0.25)`` and
         ``greenweb(ewma_alpha=0.25,boost=0)`` become the same canonical
-        spec string — which is what the fleet fingerprint hashes, making
-        two parameterizations of one governor distinct populations.
+        spec string — and likewise ``thermal(trip_ms=2000,cap_mhz=900)``
+        and ``thermal(cap_mhz=900.0, trip_ms=2e3)``.  The canonical
+        strings are what the fleet fingerprint hashes, making two
+        parameterizations of one governor or scenario distinct
+        populations.
         """
         if self.app not in APP_NAMES:
             raise EvaluationError(
                 f"unknown application {self.app!r}; known: {list(APP_NAMES)}"
             )
         canonical_governor = POLICIES.normalize(self.governor).canonical()
-        try:
-            UsageScenario(self.scenario)
-        except ValueError:
-            raise EvaluationError(
-                f"unknown scenario {self.scenario!r}; use 'imperceptible' or 'usable'"
-            ) from None
+        canonical_scenario = SCENARIOS.normalize(self.scenario).canonical()
         if self.trace_kind not in _TRACE_KINDS:
             raise EvaluationError(
                 f"unknown trace kind {self.trace_kind!r}; use 'micro' or 'full'"
             )
         if not (self.weight > 0.0):
             raise EvaluationError(f"mix weight must be positive, got {self.weight}")
-        if canonical_governor != self.governor:
-            return replace(self, governor=canonical_governor)
+        if (canonical_governor, canonical_scenario) != (self.governor, self.scenario):
+            return replace(
+                self, governor=canonical_governor, scenario=canonical_scenario
+            )
         return self
 
     @property
@@ -86,7 +86,8 @@ class MixEntry:
 
 def _split_outside_parens(text: str, sep: str) -> list[str]:
     """Split on ``sep`` occurrences not enclosed in parentheses, so
-    parameterized governor specs (``greenweb(ewma=0.25,boost=2)``) pass
+    parameterized governor and scenario specs
+    (``greenweb(ewma=0.25,boost=2)``, ``thermal(cap_mhz=1100)``) pass
     through the mix grammar's ``,``/``:``/``=`` separators intact."""
     parts: list[str] = []
     depth = 0
@@ -109,11 +110,12 @@ def parse_mix(text: str) -> list[MixEntry]:
     """Parse a ``--mix`` string into validated entries.
 
     Grammar: comma-separated items, each
-    ``APP[:GOVERNOR[:SCENARIO[:TRACE]]][=WEIGHT]``, where GOVERNOR may
-    be a parameterized policy spec (separators inside its parentheses
-    do not split the item), e.g.::
+    ``APP[:GOVERNOR[:SCENARIO[:TRACE]]][=WEIGHT]``, where GOVERNOR and
+    SCENARIO may be parameterized specs (separators inside their
+    parentheses do not split the item), e.g.::
 
         todo:greenweb=3,cnet:perf,amazon:greenweb(ewma=0.25):usable:full=0.5
+        paperjs:greenweb:thermal(cap_mhz=1100,hot_load=0.2):micro=2
     """
     entries = []
     for raw in _split_outside_parens(text, ","):

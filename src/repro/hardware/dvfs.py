@@ -67,11 +67,35 @@ class DvfsController:
         """Total configuration switches (frequency + migration)."""
         return self.freq_switches + self.migrations
 
+    def clamp(self, config: CpuConfig) -> CpuConfig:
+        """``config`` adjusted to respect the platform's frequency caps:
+        the fastest OPP of its cluster at or below the cap (the slowest
+        OPP when the cap sits below the whole table).  Identity when the
+        cluster is uncapped."""
+        cap = self._platform.frequency_cap(config.cluster)
+        if cap is None or config.freq_mhz <= cap:
+            return config
+        frequencies = self._platform.cluster(config.cluster).spec.opps.frequencies
+        allowed = [freq for freq in frequencies if freq <= cap]
+        return CpuConfig(config.cluster, max(allowed) if allowed else min(frequencies))
+
+    def enforce_caps(self) -> None:
+        """Re-check the applied (or in-flight) configuration against the
+        platform's frequency caps, initiating a down-switch when it
+        violates them.  Called by
+        :meth:`~repro.hardware.platform.MobilePlatform.set_frequency_cap`."""
+        target = self._pending_target if self.in_flight else self._platform.config
+        clamped = self.clamp(target)
+        if clamped != target:
+            self.request(clamped)
+
     def request(self, config: CpuConfig) -> bool:
         """Ask for a new configuration.
 
         Returns True if a switch was initiated (or an in-flight switch
-        retargeted), False if the platform is already at ``config``.
+        retargeted), False if the platform is already at ``config``
+        (after clamping to any frequency cap in force — an over-cap
+        request lands on the fastest allowed OPP instead).
 
         Raises:
             HardwareError: for an unknown cluster.
@@ -80,6 +104,7 @@ class DvfsController:
         platform = self._platform
         cluster = platform.cluster(config.cluster)
         cluster.spec.opps.at(config.freq_mhz)  # validate frequency early
+        config = self.clamp(config)
 
         if self.in_flight:
             # Coalesce: retarget the pending apply.  If the retarget makes

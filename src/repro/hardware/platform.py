@@ -76,6 +76,11 @@ class MobilePlatform:
         #: the busy count) fully keys the instantaneous power state.
         self._power_state_version = 0
 
+        #: cluster name -> f_max ceiling (MHz) currently imposed by the
+        #: environment (thermal throttling); empty = uncapped.  The
+        #: DVFS controller clamps every request against this.
+        self._freq_caps: dict[str, int] = {}
+
         self._contexts: list[ExecutionContext] = []
         self._busy: set[ExecutionContext] = set()
         self._power_cache: dict = {}
@@ -158,6 +163,39 @@ class MobilePlatform:
     def set_config(self, config: CpuConfig) -> bool:
         """Request a configuration change through the DVFS controller."""
         return self.dvfs.request(config)
+
+    # ------------------------------------------------------------------
+    # Frequency caps (environment hook: thermal throttling)
+    # ------------------------------------------------------------------
+    def frequency_cap(self, cluster: str) -> Optional[int]:
+        """The f_max ceiling (MHz) in force on ``cluster``, if any."""
+        return self._freq_caps.get(cluster)
+
+    @property
+    def frequency_caps(self) -> dict[str, int]:
+        """A copy of every cluster cap currently in force."""
+        return dict(self._freq_caps)
+
+    def set_frequency_cap(self, cluster: str, cap_mhz: Optional[int]) -> None:
+        """Impose (or with ``None`` lift) an f_max ceiling on a cluster.
+
+        Every subsequent DVFS request for the cluster clamps to its
+        fastest OPP at or below the cap; if the *current* (or in-flight)
+        configuration already violates the new cap, a down-switch is
+        initiated immediately with the normal switching overhead.
+        Lifting a cap changes nothing by itself — the next policy
+        request is free to climb again.
+        """
+        self.cluster(cluster)  # validate the name
+        if cap_mhz is None:
+            self._freq_caps.pop(cluster, None)
+        else:
+            if cap_mhz <= 0:
+                raise HardwareError(
+                    f"frequency cap must be positive, got {cap_mhz}"
+                )
+            self._freq_caps[cluster] = int(cap_mhz)
+        self.dvfs.enforce_caps()
 
     def _apply_config(self, config: CpuConfig) -> None:
         """Immediately apply a configuration (called by the DVFS

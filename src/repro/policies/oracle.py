@@ -107,6 +107,13 @@ def run_oracle(spec, *, app, scenario, trace_kind, seed, settle_s, trace_level):
     Returns the :class:`~repro.evaluation.runner.RunResult` of the
     final replay under the minimum-energy feasible assignment; the
     chosen per-key configurations are reported in ``runtime_stats``.
+
+    ``scenario`` is a scenario spec, not a live object: every replay
+    goes through :func:`~repro.evaluation.runner.execute_run`, which
+    builds a *fresh* bound scenario instance per replay — the sweep
+    therefore experiences the same time-varying targets and frequency
+    caps as a live policy (over-cap pins clamp through the DVFS
+    controller), and thermal state never leaks between replays.
     """
     # Imported lazily: the runner imports repro.policies for the
     # registry, so a module-level import here would be circular.
@@ -129,7 +136,7 @@ def run_oracle(spec, *, app, scenario, trace_kind, seed, settle_s, trace_level):
             seed,
             settle_s,
             trace_level,
-            lambda platform, registry: KeyPinnedPolicy(
+            lambda platform, registry, live_scenario: KeyPinnedPolicy(
                 platform, assignments, fastest, idle
             ),
         )

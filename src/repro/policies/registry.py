@@ -117,7 +117,9 @@ def _parse_cpu_config(value: str) -> CpuConfig:
     return CpuConfig(cluster, int(freq))
 
 
-def _coerce_param(policy: str, info: ParamInfo, value: object) -> object:
+def _coerce_param(
+    policy: str, info: ParamInfo, value: object, kind: str = "policy"
+) -> object:
     """Coerce a parsed spec value to the parameter's declared type."""
     annotation = info.annotation
     if "CpuConfig" in annotation:
@@ -126,34 +128,34 @@ def _coerce_param(policy: str, info: ParamInfo, value: object) -> object:
         if isinstance(value, str):
             return _parse_cpu_config(value)
         raise EvaluationError(
-            f"parameter {info.name!r} of policy {policy!r} expects a CPU "
+            f"parameter {info.name!r} of {kind} {policy!r} expects a CPU "
             f"configuration (CLUSTER@MHZ), got {value!r}"
         )
     if "bool" in annotation or isinstance(info.default, bool):
         if isinstance(value, bool):
             return value
         raise EvaluationError(
-            f"parameter {info.name!r} of policy {policy!r} expects a bool "
+            f"parameter {info.name!r} of {kind} {policy!r} expects a bool "
             f"(true/false), got {value!r}"
         )
     if "float" in annotation or isinstance(info.default, float):
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             raise EvaluationError(
-                f"parameter {info.name!r} of policy {policy!r} expects a "
+                f"parameter {info.name!r} of {kind} {policy!r} expects a "
                 f"number, got {value!r}"
             )
         return float(value)
     if "int" in annotation or isinstance(info.default, int):
         if isinstance(value, bool) or not isinstance(value, int):
             raise EvaluationError(
-                f"parameter {info.name!r} of policy {policy!r} expects an "
+                f"parameter {info.name!r} of {kind} {policy!r} expects an "
                 f"integer, got {value!r}"
             )
         return value
     if annotation == "str" or isinstance(info.default, str):
         if not isinstance(value, str):
             raise EvaluationError(
-                f"parameter {info.name!r} of policy {policy!r} expects a "
+                f"parameter {info.name!r} of {kind} {policy!r} expects a "
                 f"string, got {value!r}"
             )
         return value
@@ -283,7 +285,11 @@ class PolicyRegistry:
             platform: the :class:`~repro.hardware.platform.MobilePlatform`.
             registry: the page's
                 :class:`~repro.core.annotations.AnnotationRegistry`.
-            scenario: the :class:`~repro.core.qos.UsageScenario`.
+            scenario: the usage scenario — a
+                :class:`~repro.core.qos.UsageScenario` or a live bound
+                :class:`~repro.scenarios.Scenario` (dynamic scenarios
+                expose time-varying targets through the same
+                ``QoSSpec.target_ms`` dispatch).
 
         Returns:
             A bound-ready :class:`~repro.browser.engine.BrowserPolicy`.

@@ -1,0 +1,183 @@
+"""Scenario objects: the environment as a simulation actor.
+
+The paper evaluates under two *static* usage scenarios — battery
+plentiful (target TI) or tight (target TU), Sec. 7.1 — which the
+original code modelled as a two-value enum.  A :class:`Scenario`
+generalises that label into an object that lives inside the session's
+simulation: it binds to the platform, may schedule kernel events and
+submit background work, and exposes a per-instant view of the
+environment:
+
+* ``operative_target_ms`` — where between TI and TU the QoS target
+  currently sits (``relax`` in [0, 1]);
+* ``f_max_cap_mhz`` — per-cluster frequency ceilings currently imposed
+  (thermal throttling), enforced by the DVFS controller;
+* ``extra_work_us`` — cumulative environment-injected work (network
+  bursts, background load).
+
+Determinism contract
+--------------------
+Everything a scenario does is a function of **virtual time** and its
+forked RNG lane (``RngStreams(seed).fork("scenario")``): no wall-clock,
+no global state.  The scalar and lockstep-batched engines advance the
+same kernel events in the same order, so a dynamic scenario is
+byte-identical between the two — the differential suite pins this.
+Per-event QoS violations sample the operative target at the event's
+*dispatch* time (see :func:`repro.evaluation.metrics.event_violation_pct`),
+so accounting is insensitive to how long the frame itself took.
+
+Scenario instances are mutable (a thermal model carries heat state) and
+therefore **single-use**: everything that re-runs sessions — including
+the oracle's many replays — plumbs the :class:`ScenarioSpec` and builds
+a fresh instance per session via ``SCENARIOS.build(spec)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from repro.core.qos import QoSTarget
+from repro.errors import EvaluationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.browser.engine import Browser
+    from repro.hardware.platform import MobilePlatform
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.sim.random import RngStreams
+
+
+def interpolate_target_ms(target: QoSTarget, relax: float) -> float:
+    """The operative target for a relaxation factor in [0, 1].
+
+    ``relax <= 0`` returns TI and ``relax >= 1`` returns TU *exactly*
+    (no arithmetic): the static builtin scenarios must reproduce the
+    enum path byte-for-byte, and ``TI + 1.0 * (TU - TI)`` is not always
+    ``TU`` in floats.
+    """
+    if relax <= 0.0:
+        return target.imperceptible_ms
+    if relax >= 1.0:
+        return target.usable_ms
+    return target.imperceptible_ms + relax * (
+        target.usable_ms - target.imperceptible_ms
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioView:
+    """The environment at one instant, as seen by a frame."""
+
+    #: where the operative target sits between TI (0.0) and TU (1.0)
+    relax: float
+    #: cluster name -> f_max ceiling in MHz, or None when uncapped
+    f_max_cap_mhz: Optional[Mapping[str, int]]
+    #: cumulative environment-injected work so far, in nominal us
+    extra_work_us: float
+
+    def operative_target_ms(self, target: QoSTarget) -> float:
+        """The frame-latency target (ms) this view imposes."""
+        return interpolate_target_ms(target, self.relax)
+
+
+class Scenario:
+    """Base class for usage scenarios (see the module docstring).
+
+    Subclasses override the three state hooks (:meth:`relax_at`,
+    :meth:`caps_at`, :meth:`extra_work_done_us`) and, when they act on
+    the simulation, :meth:`on_bind` (schedule kernel events, create
+    contexts, install caps) and :meth:`attach` (grab browser handles).
+    """
+
+    #: the canonical spec this instance was built from; set by
+    #: :meth:`repro.scenarios.registry.ScenarioRegistry.build`.
+    spec: "ScenarioSpec"
+
+    def __init__(self) -> None:
+        self.platform: Optional["MobilePlatform"] = None
+        self.rng: Optional["RngStreams"] = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def canonical(self) -> str:
+        """The canonical spec string (round-trips through the grammar)."""
+        return self.spec.canonical()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, platform: "MobilePlatform", rng: "RngStreams") -> "Scenario":
+        """Attach this scenario to a session's platform (single use).
+
+        ``rng`` is the session's forked ``"scenario"`` RNG lane, so
+        scenario randomness never perturbs workload streams (and vice
+        versa).  Returns ``self`` for chaining.
+        """
+        if self.platform is not None:
+            raise EvaluationError(
+                f"scenario {self.canonical()!r} is already bound; scenario "
+                "instances carry run state — build a fresh one per session"
+            )
+        self.platform = platform
+        self.rng = rng
+        self.on_bind()
+        return self
+
+    def on_bind(self) -> None:
+        """Hook: schedule actor events / create contexts.  Default no-op."""
+
+    def attach(self, browser: "Browser") -> None:
+        """Hook: called once the session's browser exists (after
+        :meth:`bind`), for scenarios that inject work into browser
+        threads.  Default no-op."""
+
+    # ------------------------------------------------------------------
+    # Environment state (the per-frame view)
+    # ------------------------------------------------------------------
+    def relax_at(self, now_us: int) -> float:
+        """Target relaxation in [0, 1] at virtual time ``now_us``."""
+        return 0.0
+
+    def caps_at(self, now_us: int) -> Optional[Mapping[str, int]]:
+        """Frequency ceilings in force at ``now_us`` (None = uncapped)."""
+        return None
+
+    def extra_work_done_us(self) -> float:
+        """Cumulative nominal injected work so far."""
+        return 0.0
+
+    def _resolve_now(self, at_us: Optional[int]) -> int:
+        if at_us is not None:
+            return at_us
+        if self.platform is not None:
+            return self.platform.kernel.now_us
+        return 0
+
+    def view(self, at_us: Optional[int] = None) -> ScenarioView:
+        """The :class:`ScenarioView` at ``at_us`` (default: now)."""
+        now = self._resolve_now(at_us)
+        return ScenarioView(
+            relax=self.relax_at(now),
+            f_max_cap_mhz=self.caps_at(now),
+            extra_work_us=self.extra_work_done_us(),
+        )
+
+    def operative_target_ms(
+        self, target: QoSTarget, at_us: Optional[int] = None
+    ) -> float:
+        """The operative frame-latency target (ms) at ``at_us``.
+
+        This is what :meth:`repro.core.qos.QoSTarget.for_scenario`
+        dispatches to for live scenario objects.
+        """
+        return interpolate_target_ms(target, self.relax_at(self._resolve_now(at_us)))
+
+    def __str__(self) -> str:
+        spec = getattr(self, "spec", None)
+        return spec.label() if spec is not None else type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bound = "bound" if self.platform is not None else "unbound"
+        return f"<Scenario {self} {bound}>"

@@ -5,6 +5,11 @@ JSON object; this module is the single place that vocabulary is
 defined, validated, and turned into a :class:`repro.fleet.FleetSpec`.
 Validation failures raise :class:`repro.errors.EvaluationError` with a
 one-line, field-naming message — the server maps them to HTTP 400.
+
+Mix entries — including parameterized governor and scenario specs like
+``thermal(cap_mhz=1100)`` — are validated by
+:func:`repro.fleet.parse_mix` via the policy/scenario registries; this
+module only checks the payload's shape.
 """
 
 from __future__ import annotations

@@ -464,14 +464,17 @@ class ServeApp:
         """Seconds until the admission queue plausibly has a slot.
 
         Queue depth times the mean settled-job wall time, divided
-        across the lanes; 5 s when no job has settled yet.  A hint,
-        not a promise — clamped to [1 s, 600 s].
+        across the lanes.  Before any job has settled there is no wall
+        time to learn from, but queue depth is still a signal: a
+        cold-start hint assumes 5 s per queued job instead of answering
+        a flat 5 s regardless of how much work is already waiting.  A
+        hint, not a promise — both paths share the [1 s, 600 s] clamp.
         """
-        mean_wall = self.metrics.mean_wall_s()
-        if mean_wall is None:
-            return 5
         depth = self.store.queue_depth()
-        estimate = mean_wall * max(depth, 1) / len(self.scheduler.lanes)
+        lanes = len(self.scheduler.lanes)
+        mean_wall = self.metrics.mean_wall_s()
+        per_job = 5.0 if mean_wall is None else mean_wall
+        estimate = per_job * max(depth, 1) / lanes
         return max(1, min(600, int(estimate + 0.5)))
 
     def render_metrics(self) -> str:

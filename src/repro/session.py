@@ -26,19 +26,15 @@ from repro.core.qos import UsageScenario
 from repro.errors import EvaluationError
 from repro.evaluation.runner import RunResult, make_policy, resolve_spec, run_workload
 from repro.hardware.platform import MobilePlatform, odroid_xu_e
+from repro.scenarios import SCENARIOS, ScenarioSpec, build_live_scenario
 from repro.sim.tracing import TRACE_LEVELS
 from repro.workloads.registry import APP_NAMES
 
 
-def _coerce_scenario(scenario: "UsageScenario | str") -> UsageScenario:
-    if isinstance(scenario, UsageScenario):
-        return scenario
-    try:
-        return UsageScenario(scenario)
-    except ValueError:
-        raise EvaluationError(
-            f"unknown scenario {scenario!r}; use 'imperceptible' or 'usable'"
-        ) from None
+def _coerce_scenario(scenario: "UsageScenario | ScenarioSpec | str") -> ScenarioSpec:
+    """Validate and canonicalise through the scenario registry (one
+    vocabulary for the CLI, fleet mixes, and this facade)."""
+    return SCENARIOS.normalize(scenario)
 
 
 class Session:
@@ -48,7 +44,7 @@ class Session:
         self,
         app_name: str,
         governor: str = "greenweb",
-        scenario: "UsageScenario | str" = UsageScenario.IMPERCEPTIBLE,
+        scenario: "UsageScenario | ScenarioSpec | str" = UsageScenario.IMPERCEPTIBLE,
         seed: int = 0,
         runtime_kwargs: Optional[dict] = None,
         trace_level: str = "full",
@@ -77,7 +73,7 @@ class Session:
         cls,
         app_name: str,
         governor: str = "greenweb",
-        scenario: "UsageScenario | str" = UsageScenario.IMPERCEPTIBLE,
+        scenario: "UsageScenario | ScenarioSpec | str" = UsageScenario.IMPERCEPTIBLE,
         seed: int = 0,
     ) -> "Session":
         """A session over one of the paper's twelve applications
@@ -93,17 +89,21 @@ class Session:
         cls,
         page: Page,
         governor: str = "greenweb",
-        scenario: "UsageScenario | str" = UsageScenario.IMPERCEPTIBLE,
+        scenario: "UsageScenario | ScenarioSpec | str" = UsageScenario.IMPERCEPTIBLE,
+        seed: int = 0,
     ) -> tuple[MobilePlatform, Browser, BrowserPolicy]:
         """Assemble a live (platform, browser, policy) stack for a
         custom page; the caller drives inputs directly via
         ``browser.dispatch_event`` or an
-        :class:`~repro.workloads.InteractionDriver`."""
-        scenario = _coerce_scenario(scenario)
+        :class:`~repro.workloads.InteractionDriver`.  ``seed`` feeds
+        the scenario's RNG lane (dynamic scenarios only)."""
+        spec = _coerce_scenario(scenario)
         platform = odroid_xu_e()
+        live = build_live_scenario(spec, platform, seed=seed)
         registry = AnnotationRegistry.from_stylesheet(page.stylesheet)
-        policy = make_policy(governor, platform, registry, scenario)
+        policy = make_policy(governor, platform, registry, live)
         browser = Browser(platform, page, policy=policy)
+        live.attach(browser)
         return platform, browser, policy
 
     # ------------------------------------------------------------------
@@ -147,7 +147,7 @@ class Session:
         job = {
             "app": self.app_name,
             "governor": self.governor,
-            "scenario": str(self.scenario),
+            "scenario": self.scenario.canonical(),
             "trace_kind": trace_kind,
             "seed": self.seed,
             "settle_s": settle_s,

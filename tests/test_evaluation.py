@@ -230,8 +230,11 @@ class TestSession:
         assert result.governor == "greenweb"
 
     def test_scenario_strings(self):
+        # Strings and the legacy enum both normalize to the canonical
+        # registry spec.
         session = Session.for_application("todo", scenario="usable")
-        assert session.scenario is U
+        assert session.scenario.canonical() == "usable"
+        assert Session("todo", scenario=U).scenario == session.scenario
 
     def test_unknown_app_rejected(self):
         with pytest.raises(EvaluationError):

@@ -558,6 +558,56 @@ class TestBackpressure:
             app.stop()
 
 
+class TestRetryAfterHint:
+    """The Retry-After estimate itself, without HTTP in the way.
+
+    The app is constructed but never started, so submitted jobs stay
+    queued and the hint's inputs (queue depth, lane count, settled wall
+    times) are fully deterministic.
+    """
+
+    def make_app(self, tmp_path, lanes: int) -> ServeApp:
+        return ServeApp(
+            host="127.0.0.1", port=0, state_dir=str(tmp_path / "state"),
+            workers=lanes, max_concurrent_jobs=lanes, quiet=True,
+        )
+
+    def test_cold_start_scales_with_queue_depth(self, tmp_path):
+        app = self.make_app(tmp_path, lanes=2)
+        try:
+            assert app.metrics.mean_wall_s() is None
+            # Empty queue: assumed 5 s per job over 2 lanes.
+            assert app.retry_after_hint() == 3
+            for _ in range(8):
+                app.store.submit(dict(FAST_JOB))
+            assert app.store.queue_depth() == 8
+            # 5 s x 8 queued / 2 lanes — a deep cold queue no longer
+            # answers the same flat 5 s as an empty one.
+            assert app.retry_after_hint() == 20
+        finally:
+            app.httpd.server_close()
+
+    def test_cold_start_shares_the_clamp(self, tmp_path):
+        app = self.make_app(tmp_path, lanes=1)
+        try:
+            for _ in range(150):
+                app.store.submit(dict(FAST_JOB))
+            # 5 s x 150 = 750 s, clamped to the same 600 s ceiling the
+            # warm path uses.
+            assert app.retry_after_hint() == 600
+        finally:
+            app.httpd.server_close()
+
+    def test_warm_hint_uses_observed_wall_time(self, tmp_path):
+        app = self.make_app(tmp_path, lanes=2)
+        try:
+            app.metrics.job_settled("done", wall_s=30.0)
+            app.store.submit(dict(FAST_JOB))
+            assert app.retry_after_hint() == 15  # 30 s x 1 / 2 lanes
+        finally:
+            app.httpd.server_close()
+
+
 # ----------------------------------------------------------------------
 # GET /metrics exposition
 # ----------------------------------------------------------------------
